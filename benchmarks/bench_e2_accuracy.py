@@ -1,0 +1,52 @@
+"""E2 -- Accuracy-parity table (secure output == plaintext output).
+
+The paper's protocols compute exactly the plaintext decision (after
+fixed-point quantisation), so accuracy is unchanged by going secure.
+This bench verifies quantised-vs-float agreement at scale, runs a live
+protocol spot check per classifier family, and benchmarks one live
+secure query.
+"""
+
+import pytest
+
+from repro.bench import Table
+
+
+def test_e2_accuracy_parity(fitted_pipelines, warfarin_train_test, benchmark):
+    train, test = warfarin_train_test
+    table = Table(
+        "E2: accuracy parity (warfarin-like)",
+        ["classifier", "plain acc", "quantized acc", "agreement", "live spot check"],
+    )
+    for kind, pipeline in fitted_pipelines.items():
+        plain_predictions = pipeline.predict_plain(test.X)
+        plain_acc = (plain_predictions == test.y).mean()
+
+        secure = pipeline.secure_model
+        quantized_predictions = [
+            secure.predict_quantized(row) for row in test.X[:400]
+        ]
+        quantized_acc = (
+            (quantized_predictions == test.y[:400]).sum() / 400
+        )
+        agreement = (
+            (quantized_predictions == plain_predictions[:400]).sum() / 400
+        )
+
+        # Live protocol spot check on a handful of rows.
+        ctx = pipeline.make_context(seed=1000)
+        live_ok = all(
+            secure.classify(ctx, row, []) == secure.predict_quantized(row)
+            for row in test.X[:3]
+        )
+        table.add_row([kind, plain_acc, quantized_acc, agreement, live_ok])
+
+        assert live_ok
+        assert agreement >= 0.97  # fixed-point may flip rare near-ties
+    table.print()
+
+    pipeline = fitted_pipelines["naive_bayes"]
+    ctx = pipeline.make_context(seed=1001)
+    secure = pipeline.secure_model
+    row = test.X[0]
+    benchmark(lambda: secure.classify(ctx, row, []))

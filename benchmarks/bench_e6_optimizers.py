@@ -1,0 +1,60 @@
+"""E6 -- Optimizer comparison table.
+
+Solution quality and solve effort of the four disclosure solvers on the
+real warfarin problem (tree classifier, where cost structure is the
+least additive) and on a wider synthetic instance. Exhaustive search
+defines the optimum; branch-and-bound must match it; greedy should be
+near-optimal at a fraction of the evaluations.
+
+The benchmarked kernel is branch-and-bound on the warfarin problem.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.selection import (
+    solve_annealing,
+    solve_branch_and_bound,
+    solve_exhaustive,
+    solve_greedy,
+)
+
+SOLVERS = [
+    ("exhaustive", solve_exhaustive),
+    ("branch-and-bound", solve_branch_and_bound),
+    ("greedy-lazy", solve_greedy),
+    ("annealing", lambda p: solve_annealing(p, iterations=1500, seed=3)),
+]
+
+
+def test_e6_optimizer_comparison(fitted_pipelines, benchmark):
+    pipeline = fitted_pipelines["tree"]
+    budget = 0.1
+
+    table = Table(
+        "E6: solver comparison (warfarin-like, tree, budget 0.1)",
+        ["solver", "cost (s)", "risk", "|S|", "nodes", "solve ms",
+         "risk evals"],
+    )
+    results = {}
+    for name, solver in SOLVERS:
+        problem = pipeline.build_problem(budget)
+        problem.reset_counters()
+        solution = solver(problem)
+        results[name] = solution
+        table.add_row(
+            [name, solution.cost, solution.risk, len(solution.disclosed),
+             solution.nodes_explored, solution.solve_seconds * 1e3,
+             problem.evaluation_counts["risk"]]
+        )
+    table.print()
+
+    optimum = results["exhaustive"].cost
+    assert results["branch-and-bound"].cost == pytest.approx(optimum, rel=1e-9)
+    assert results["greedy-lazy"].cost <= optimum * 1.5
+    assert results["annealing"].cost <= optimum * 2.0
+    for solution in results.values():
+        assert solution.risk <= budget + 1e-9
+
+    problem = pipeline.build_problem(budget)
+    benchmark(lambda: solve_branch_and_bound(problem))

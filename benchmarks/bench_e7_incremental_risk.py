@@ -1,0 +1,77 @@
+"""E7 -- Incremental privacy-loss computation speedup.
+
+The paper's enabling mechanism: computing the marginal risk of one more
+disclosure from cached belief states instead of from scratch. This
+bench measures, for growing current-set sizes |S|, the time of a
+marginal evaluation via the incremental path (``peek_risk``) against
+the naive full recomputation (``risk_of_set``); the naive cost grows
+linearly in |S| while the incremental cost stays flat.
+
+The benchmarked kernel is one incremental peek at |S| = 24.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import Table
+from repro.data import generate_bayesnet_dataset
+from repro.privacy import IncrementalRiskEvaluator, NaiveBayesAdversary
+
+REPEATS = 30
+
+
+def _mean_seconds(fn, repeats=REPEATS):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def test_e7_incremental_speedup(benchmark):
+    dataset = generate_bayesnet_dataset(
+        n_samples=2000, n_features=32, domain_size=3, n_sensitive=2, seed=5
+    )
+    adversary = NaiveBayesAdversary(
+        dataset.X, dataset.domain_sizes, dataset.sensitive_indices
+    )
+    rows = dataset.X[:300]
+    evaluator = IncrementalRiskEvaluator(
+        adversary, rows, dataset.sensitive_indices
+    )
+
+    candidates = dataset.disclosable_indices
+    probe = candidates[-1]
+
+    table = Table(
+        "E7: marginal-risk evaluation, incremental vs from-scratch",
+        ["|S|", "incremental (ms)", "naive (ms)", "speedup"],
+    )
+    speedups = []
+    for size in (0, 4, 8, 16, 24):
+        evaluator.reset()
+        for feature in candidates[:size]:
+            evaluator.push(feature)
+        current = list(evaluator.disclosed)
+
+        incremental = _mean_seconds(lambda: evaluator.peek_risk(probe))
+        naive = _mean_seconds(
+            lambda: evaluator.risk_of_set(current + [probe])
+        )
+        # Both paths agree exactly.
+        assert evaluator.peek_risk(probe) == pytest.approx(
+            evaluator.risk_of_set(current + [probe]), abs=1e-10
+        )
+        speedup = naive / incremental
+        speedups.append((size, speedup))
+        table.add_row([size, incremental * 1e3, naive * 1e3, speedup])
+    table.print()
+
+    # Shape: the advantage grows with |S| and is substantial at |S|=24.
+    assert speedups[-1][1] > speedups[0][1]
+    assert speedups[-1][1] > 3.0
+
+    evaluator.reset()
+    for feature in candidates[:24]:
+        evaluator.push(feature)
+    benchmark(lambda: evaluator.peek_risk(probe))

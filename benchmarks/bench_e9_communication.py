@@ -1,0 +1,45 @@
+"""E9 -- Communication-cost table.
+
+Bytes and communication rounds per secure query as disclosure grows,
+per classifier family, plus network-time projections under LAN and WAN.
+Traffic and rounds come from the analytic traces (validated against
+live runs by the test suite); the benchmarked kernel is trace
+construction itself, which is the optimizer's inner loop.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.smc.network import NetworkProfile
+
+
+def test_e9_communication(fitted_pipelines, warfarin_train_test, benchmark):
+    train, _ = warfarin_train_test
+    levels = [0, 4, 8, train.n_features]
+
+    for kind, pipeline in fitted_pipelines.items():
+        table = Table(
+            f"E9: per-query communication ({kind})",
+            ["|S|", "bytes", "rounds", "LAN net (s)", "WAN net (s)"],
+        )
+        series = []
+        for level in levels:
+            trace = pipeline.estimated_trace(list(range(level)))
+            lan = NetworkProfile.LAN.price(trace)
+            wan = NetworkProfile.WAN.price(trace)
+            series.append((trace.total_bytes, trace.rounds))
+            table.add_row([level, trace.total_bytes, trace.rounds, lan, wan])
+        table.print()
+
+        # Shape: traffic never grows with more disclosure; rounds are
+        # monotone up to the single extra plaintext-upload message that
+        # a non-empty disclosure set introduces.
+        in_bytes = [s[0] for s in series]
+        in_rounds = [s[1] for s in series]
+        assert all(a >= b for a, b in zip(in_bytes, in_bytes[1:]))
+        assert all(a + 1 >= b for a, b in zip(in_rounds, in_rounds[1:]))
+        assert in_bytes[0] / max(in_bytes[-1], 1) > 20
+        assert in_rounds[-1] <= 2
+
+    pipeline = fitted_pipelines["tree"]
+    benchmark(lambda: pipeline.estimated_trace([0, 1, 2, 3]))

@@ -1,0 +1,88 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print paper-style tables to stdout; pytest captures them
+per-test, and running with ``-s`` (or reading the benchmark logs) shows
+the reproduced rows next to pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """A fixed-column ASCII table builder.
+
+    Usage::
+
+        table = Table("E3: runtime vs disclosure", ["|S|", "seconds"])
+        table.add_row([0, 0.21])
+        print(table.render())
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable) -> None:
+        """Append one row; values are stringified with sensible float
+        formatting."""
+        formatted = [_format_cell(value) for value in values]
+        if len(formatted) != len(self.columns):
+            raise ValueError(
+                f"row has {len(formatted)} cells for {len(self.columns)} columns"
+            )
+        self._rows.append(formatted)
+
+    def render(self) -> str:
+        """The table as a string, header underlined, columns aligned."""
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in self._rows))
+            if self._rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = "  ".join(
+            name.rjust(width) for name, width in zip(self.columns, widths)
+        )
+        lines = [f"== {self.title} ==", header, "-" * len(header)]
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout with surrounding blank lines."""
+        print()
+        print(self.render())
+        print()
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.4f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: µs/ms/s."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_speedup(ratio: float) -> str:
+    """``123.4x`` style."""
+    return f"{ratio:.1f}x"

@@ -1,0 +1,315 @@
+"""Circuit compilers for the three classifier families.
+
+These produce the *generic-SMC* (Yao) equivalents of the specialized
+protocols in :mod:`repro.secure`: the client's hidden feature values
+and the server's model parameters are both private circuit inputs, and
+the output is the predicted class index / label.
+
+Model parameters enter as private *lookup tables*: for a categorical
+feature with domain ``D``, the server supplies the ``D`` possible
+per-class contributions (weight*value products for the hyperplane,
+log-probability entries for naive Bayes) as input bits, and the circuit
+selects with a mux tree driven by the client's value bits. This is both
+how practical GC compilers handle small categorical domains and what
+keeps the parameters private (circuit constants are public in Yao).
+
+Disclosure folds in exactly as in the specialized protocols: disclosed
+features' contributions are added into a server-supplied offset, so the
+circuit only contains lookups for *hidden* features -- generic SMC
+benefits from the paper's mechanism the same way the specialized
+protocols do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.arithmetic import (
+    add,
+    argmax,
+    greater_equal,
+    less_than,
+    mux,
+    mux_many,
+)
+from repro.circuits.builder import Circuit, CircuitError, Owner
+from repro.classifiers.decision_tree import TreeNode
+
+
+@dataclass
+class CompiledClassifier:
+    """A compiled classifier circuit plus its input bindings.
+
+    Attributes
+    ----------
+    circuit:
+        The boolean circuit; outputs encode the prediction LSB-first.
+    client_inputs:
+        ``{feature index: wire list}`` for the client's hidden values.
+    server_assignment:
+        Concrete bits for every server input wire (the model is known
+        at compile time; in a deployment these bits stay private).
+    output_kind:
+        ``"class_position"`` (argmax index into ``classes``) or
+        ``"label"`` (the label value itself, for trees).
+    classes:
+        Class labels in score order (argmax outputs index into these).
+    """
+
+    circuit: Circuit
+    client_inputs: Dict[int, List[int]]
+    server_assignment: Dict[int, int]
+    output_kind: str
+    classes: List[int] = field(default_factory=list)
+
+    def predict(self, row: Sequence[int]) -> int:
+        """Evaluate the circuit on a concrete feature row (plaintext
+        functional check)."""
+        assignment = dict(self.server_assignment)
+        for feature, wires in self.client_inputs.items():
+            value = int(row[feature])
+            if value < 0 or value >= (1 << len(wires)):
+                raise CircuitError(
+                    f"feature {feature} value {value} does not fit in "
+                    f"{len(wires)} bits"
+                )
+            for i, wire in enumerate(wires):
+                assignment[wire] = (value >> i) & 1
+        result = self.circuit.evaluate_int(assignment)
+        if self.output_kind == "class_position":
+            return self.classes[min(result, len(self.classes) - 1)]
+        return result
+
+
+def _server_value(
+    circuit: Circuit, assignment: Dict[int, int], value: int, width: int
+) -> List[int]:
+    """Allocate server input wires carrying ``value`` (two's complement)."""
+    wires = circuit.input_bits(Owner.SERVER, width)
+    encoded = value & ((1 << width) - 1)
+    for i, wire in enumerate(wires):
+        assignment[wire] = (encoded >> i) & 1
+    return wires
+
+
+def _flip_sign_bit(circuit: Circuit, value: Sequence[int]) -> List[int]:
+    """Signed -> order-preserving unsigned (flip the top bit)."""
+    flipped = list(value)
+    flipped[-1] = circuit.gate_not(flipped[-1])
+    return flipped
+
+
+def _score_width(bound: int) -> int:
+    """Two's-complement width covering ``|score| <= bound``."""
+    return max(bound, 1).bit_length() + 2
+
+
+def compile_score_argmax(
+    per_class_tables: Sequence[Dict[int, List[int]]],
+    offsets: Sequence[int],
+    feature_bits: Dict[int, int],
+    classes: Sequence[int],
+    magnitude_bound: int,
+    name: str,
+) -> CompiledClassifier:
+    """Shared compiler for score-based families (hyperplane, NB).
+
+    Parameters
+    ----------
+    per_class_tables:
+        One dict per class mapping *hidden* feature index -> list of
+        ``D`` integer contributions (entry ``v`` is the contribution
+        when the feature's value is ``v``).
+    offsets:
+        Per-class plaintext part (bias/prior + disclosed features),
+        supplied as private server inputs.
+    feature_bits:
+        ``{hidden feature: bit length of its value}``.
+    classes:
+        Class labels in score order.
+    magnitude_bound:
+        Bound on any intermediate |score|, fixing the datapath width.
+    """
+    circuit = Circuit(name)
+    assignment: Dict[int, int] = {}
+    width = _score_width(magnitude_bound)
+
+    client_inputs = {
+        feature: circuit.input_bits(Owner.CLIENT, bits)
+        for feature, bits in sorted(feature_bits.items())
+    }
+
+    scores: List[List[int]] = []
+    for class_position, tables in enumerate(per_class_tables):
+        score = _server_value(
+            circuit, assignment, offsets[class_position], width
+        )
+        for feature, entries in sorted(tables.items()):
+            options = [
+                _server_value(circuit, assignment, entry, width)
+                for entry in entries
+            ]
+            contribution = mux_many(
+                circuit, client_inputs[feature], options
+            )
+            score = add(circuit, score, contribution, width=width)
+        scores.append(score)
+
+    if len(scores) == 1:
+        raise CircuitError("need at least two classes")
+    unsigned = [_flip_sign_bit(circuit, s) for s in scores]
+    winner = argmax(circuit, unsigned)
+    circuit.mark_outputs(winner)
+    return CompiledClassifier(
+        circuit=circuit,
+        client_inputs=client_inputs,
+        server_assignment=assignment,
+        output_kind="class_position",
+        classes=list(classes),
+    )
+
+
+def compile_linear(
+    weight_rows: Sequence[Sequence[int]],
+    biases: Sequence[int],
+    domain_sizes: Sequence[int],
+    classes: Sequence[int],
+    hidden: Sequence[int],
+    disclosed_values: Optional[Dict[int, int]] = None,
+) -> CompiledClassifier:
+    """Compile a fixed-point hyperplane classifier.
+
+    ``weight_rows``/``biases`` are the integer model; ``hidden`` lists
+    the features evaluated inside the circuit, and ``disclosed_values``
+    provides concrete values for everything else (folded into the
+    per-class offsets)."""
+    disclosed_values = disclosed_values or {}
+    hidden = list(hidden)
+    _check_partition(len(domain_sizes), hidden, disclosed_values)
+
+    offsets = [
+        bias + sum(weights[f] * v for f, v in disclosed_values.items())
+        for weights, bias in zip(weight_rows, biases)
+    ]
+    tables = [
+        {
+            f: [weights[f] * v for v in range(domain_sizes[f])]
+            for f in hidden
+        }
+        for weights in weight_rows
+    ]
+    bound = max(
+        abs(int(b)) + sum(
+            max(abs(w * v) for v in range(domain_sizes[f]))
+            for f, w in enumerate(weights)
+        )
+        for weights, b in zip(weight_rows, offsets)
+    ) + max(abs(o) for o in offsets)
+    feature_bits = {
+        f: max(1, (domain_sizes[f] - 1).bit_length()) for f in hidden
+    }
+    return compile_score_argmax(
+        tables, offsets, feature_bits, classes, bound, "linear-gc"
+    )
+
+
+def compile_naive_bayes(
+    int_priors: Sequence[int],
+    int_tables: Sequence[Sequence[Sequence[int]]],
+    domain_sizes: Sequence[int],
+    classes: Sequence[int],
+    hidden: Sequence[int],
+    disclosed_values: Optional[Dict[int, int]] = None,
+) -> CompiledClassifier:
+    """Compile a fixed-point naive-Bayes classifier.
+
+    ``int_tables[f][c][v]`` is the integer log-likelihood entry (the
+    layout produced by
+    :class:`repro.secure.secure_naive_bayes.SecureNaiveBayesClassifier`).
+    """
+    disclosed_values = disclosed_values or {}
+    hidden = list(hidden)
+    _check_partition(len(domain_sizes), hidden, disclosed_values)
+
+    n_classes = len(classes)
+    offsets = [
+        int_priors[c]
+        + sum(int_tables[f][c][v] for f, v in disclosed_values.items())
+        for c in range(n_classes)
+    ]
+    tables = [
+        {f: list(int_tables[f][c]) for f in hidden}
+        for c in range(n_classes)
+    ]
+    bound = max(abs(p) for p in int_priors) + sum(
+        max(abs(entry) for row in int_tables[f] for entry in row)
+        for f in range(len(domain_sizes))
+    )
+    feature_bits = {
+        f: max(1, (domain_sizes[f] - 1).bit_length()) for f in hidden
+    }
+    return compile_score_argmax(
+        tables, offsets, feature_bits, classes, bound, "naive-bayes-gc"
+    )
+
+
+def compile_tree(
+    root: TreeNode,
+    domain_sizes: Sequence[int],
+    label_width: int,
+) -> CompiledClassifier:
+    """Compile a decision tree (already pruned by disclosure if any).
+
+    One comparator per internal node (``x_f <= t`` against a private
+    server threshold), then a bottom-up mux cascade selecting the leaf
+    label (labels are private server inputs). A structure-hiding
+    deployment would pad to a complete tree; the cost model exposes a
+    padding factor instead of baking it into the circuit.
+    """
+    circuit = Circuit("tree-gc")
+    assignment: Dict[int, int] = {}
+    client_inputs: Dict[int, List[int]] = {}
+
+    def feature_wires(feature: int) -> List[int]:
+        if feature not in client_inputs:
+            bits = max(1, (domain_sizes[feature] - 1).bit_length())
+            client_inputs[feature] = circuit.input_bits(Owner.CLIENT, bits)
+        return client_inputs[feature]
+
+    def walk(node: TreeNode) -> List[int]:
+        if node.is_leaf:
+            assert node.label is not None
+            return _server_value(circuit, assignment, node.label, label_width)
+        assert node.feature is not None and node.threshold is not None
+        assert node.left is not None and node.right is not None
+        wires = feature_wires(node.feature)
+        threshold = _server_value(
+            circuit, assignment, node.threshold, len(wires)
+        )
+        go_left = circuit.gate_not(less_than(circuit, threshold, wires))
+        left_label = walk(node.left)
+        right_label = walk(node.right)
+        return mux(circuit, go_left, right_label, left_label)
+
+    circuit.mark_outputs(walk(root))
+    return CompiledClassifier(
+        circuit=circuit,
+        client_inputs=client_inputs,
+        server_assignment=assignment,
+        output_kind="label",
+    )
+
+
+def _check_partition(
+    n_features: int, hidden: Sequence[int], disclosed: Dict[int, int]
+) -> None:
+    covered = set(hidden) | set(disclosed)
+    if len(set(hidden)) != len(hidden):
+        raise CircuitError("duplicate hidden features")
+    if set(hidden) & set(disclosed):
+        raise CircuitError("a feature cannot be both hidden and disclosed")
+    if covered != set(range(n_features)):
+        raise CircuitError(
+            f"hidden + disclosed must cover all {n_features} features"
+        )

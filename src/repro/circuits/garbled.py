@@ -1,0 +1,115 @@
+"""Cost model for Yao garbled-circuit execution.
+
+Prices a compiled circuit under the standard modern construction:
+free-XOR (XOR gates cost nothing) with half-gates (two 128-bit
+ciphertexts per AND gate on the wire), OT-extension for the client's
+input bits, and a constant number of rounds. Profiles are calibrated to
+2015-era figures, matching the hardware era of the original evaluation:
+
+* garbling/evaluating an AND gate: ~1 microsecond each with AES-NI,
+* 32 bytes of garbled-table traffic per AND gate,
+* ~20 microseconds amortised per OT-extension transfer plus a fixed
+  base-OT setup, 32 bytes per extended OT,
+* two communication rounds (circuit + inputs, then outputs).
+
+The same :class:`~repro.smc.network.NetworkModel` profiles used for the
+specialized protocols price the traffic, so experiment E11's comparison
+of the two pure-SMC baselines and the disclosure-optimized protocol is
+apples to apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuits.builder import Circuit, Owner
+from repro.smc.network import NetworkModel, NetworkProfile
+
+
+@dataclass(frozen=True)
+class YaoProfile:
+    """Per-operation constants of a garbled-circuit implementation."""
+
+    name: str
+    seconds_per_and_gate: float
+    bytes_per_and_gate: int
+    seconds_per_ot: float
+    bytes_per_ot: int
+    base_ot_setup_seconds: float
+    rounds: int = 2
+
+
+YAO_2015 = YaoProfile(
+    name="yao-2015",
+    seconds_per_and_gate=2e-6,     # garble + evaluate, AES-NI era
+    bytes_per_and_gate=32,         # half-gates: 2 x 128-bit ciphertexts
+    seconds_per_ot=2e-5,           # OT extension, amortised
+    bytes_per_ot=32,
+    base_ot_setup_seconds=15e-3,   # 128 base OTs
+)
+
+
+@dataclass(frozen=True)
+class GarbledCostBreakdown:
+    """Where the garbled execution's time goes."""
+
+    compute_seconds: float
+    ot_seconds: float
+    network_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end estimated latency."""
+        return self.compute_seconds + self.ot_seconds + self.network_seconds
+
+
+@dataclass(frozen=True)
+class GarbledCostModel:
+    """Prices circuits under a Yao profile and a network model.
+
+    Parameters
+    ----------
+    profile:
+        Implementation constants (see :data:`YAO_2015`).
+    network:
+        Link model shared with the specialized-protocol cost model.
+    padding_factor:
+        Multiplier on the AND-gate count to account for structure
+        hiding (e.g. padding a decision tree to a complete tree);
+        1.0 prices the circuit as compiled.
+    amortize_setup:
+        When ``True``, the one-time base-OT setup is excluded
+        (appropriate for repeated queries over one session).
+    """
+
+    profile: YaoProfile = YAO_2015
+    network: NetworkModel = NetworkProfile.LAN
+    padding_factor: float = 1.0
+    amortize_setup: bool = True
+
+    def price(self, circuit: Circuit) -> GarbledCostBreakdown:
+        """Cost breakdown for one evaluation of ``circuit``."""
+        and_gates = circuit.and_count * self.padding_factor
+        client_bits = circuit.input_count(Owner.CLIENT)
+
+        compute = and_gates * self.profile.seconds_per_and_gate
+        ot = client_bits * self.profile.seconds_per_ot
+        if not self.amortize_setup:
+            ot += self.profile.base_ot_setup_seconds
+
+        total_bytes = int(
+            and_gates * self.profile.bytes_per_and_gate
+            + client_bits * self.profile.bytes_per_ot
+            + len(circuit.outputs) * 16
+        )
+        network = self.network.transfer_seconds(
+            total_bytes, self.profile.rounds
+        )
+        return GarbledCostBreakdown(
+            compute_seconds=compute, ot_seconds=ot, network_seconds=network
+        )
+
+    def total_seconds(self, circuit: Circuit) -> float:
+        """Shorthand for ``price(circuit).total_seconds``."""
+        return self.price(circuit).total_seconds

@@ -1,0 +1,93 @@
+"""Common classifier interface.
+
+Keeping the interface tiny (fit / predict / predict_one) lets the secure
+wrappers in :mod:`repro.secure` treat every model family uniformly, and
+the accuracy-parity benchmark iterate over families generically.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+
+class ClassifierError(Exception):
+    """Raised on invalid classifier usage (unfitted predict, bad shapes)."""
+
+
+class Classifier(abc.ABC):
+    """Abstract base for the plaintext classifiers.
+
+    Feature matrices are ``(n_samples, n_features)`` arrays. The secure
+    protocols require integer-coded categorical features, and the data
+    substrate always delivers those; the linear model additionally
+    accepts float features for standalone use.
+    """
+
+    _n_features: int = -1
+    _classes: np.ndarray
+
+    @abc.abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Classifier":
+        """Train on ``features``/``labels``; returns ``self``."""
+
+    @abc.abstractmethod
+    def predict_one(self, row: np.ndarray) -> int:
+        """Predict the class label of a single feature row."""
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Vectorised prediction; default loops over :meth:`predict_one`."""
+        features = np.asarray(features)
+        self._check_fitted()
+        if features.ndim != 2:
+            raise ClassifierError(
+                f"expected a 2-d feature matrix, got shape {features.shape}"
+            )
+        return np.array([self.predict_one(row) for row in features])
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Sorted class labels seen during fitting."""
+        self._check_fitted()
+        return self._classes
+
+    @property
+    def n_features(self) -> int:
+        """Number of features the model was fitted on."""
+        self._check_fitted()
+        return self._n_features
+
+    def _check_fitted(self) -> None:
+        if self._n_features < 0:
+            raise ClassifierError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+
+    def _register_training_shape(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> None:
+        """Validate shapes and remember feature count / class labels."""
+        if features.ndim != 2:
+            raise ClassifierError(
+                f"expected a 2-d feature matrix, got shape {features.shape}"
+            )
+        if len(features) != len(labels):
+            raise ClassifierError(
+                f"{len(features)} rows vs {len(labels)} labels"
+            )
+        if len(features) == 0:
+            raise ClassifierError("cannot fit on an empty dataset")
+        self._n_features = features.shape[1]
+        self._classes = np.unique(labels)
+
+
+def validate_row(row: Sequence, n_features: int) -> np.ndarray:
+    """Coerce and shape-check a single prediction row."""
+    array = np.asarray(row)
+    if array.ndim != 1 or array.shape[0] != n_features:
+        raise ClassifierError(
+            f"expected a row of {n_features} features, got shape {array.shape}"
+        )
+    return array

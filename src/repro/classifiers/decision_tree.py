@@ -1,0 +1,194 @@
+"""CART decision tree with Gini impurity and ordinal threshold splits.
+
+Every internal node tests ``x[feature] <= threshold`` over integer-coded
+features, which maps one-to-one onto the secure comparison protocol:
+each node on the (hidden-feature) evaluation frontier costs one
+encrypted comparison. The tree structure is exposed publicly
+(:class:`TreeNode`) because the secure evaluator and the
+disclosure-based pruning both walk it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.classifiers.base import Classifier, ClassifierError, validate_row
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree.
+
+    Internal nodes carry ``feature``/``threshold`` and both children;
+    leaves carry only ``label``.
+    """
+
+    feature: Optional[int] = None
+    threshold: Optional[int] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    label: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node carries a class label."""
+        return self.label is not None
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (leaf = 0)."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def count_internal(self) -> int:
+        """Number of decision nodes in this subtree."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.count_internal() + self.right.count_internal()
+
+    def count_leaves(self) -> int:
+        """Number of leaves in this subtree."""
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.count_leaves() + self.right.count_leaves()
+
+    def leaves(self) -> List["TreeNode"]:
+        """All leaves of this subtree, left to right."""
+        if self.is_leaf:
+            return [self]
+        assert self.left is not None and self.right is not None
+        return self.left.leaves() + self.right.leaves()
+
+
+class DecisionTreeClassifier(Classifier):
+    """Greedy CART trainer.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root at depth 0).
+    min_samples_split:
+        Do not split nodes with fewer samples.
+    min_impurity_decrease:
+        Minimum Gini improvement for a split to be kept.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        min_impurity_decrease: float = 1e-7,
+        candidate_features: Optional[List[int]] = None,
+    ) -> None:
+        if max_depth < 0:
+            raise ClassifierError(f"max_depth must be non-negative: {max_depth}")
+        if min_samples_split < 2:
+            raise ClassifierError(
+                f"min_samples_split must be at least 2: {min_samples_split}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_impurity_decrease = min_impurity_decrease
+        # Restricting split candidates enables random-forest feature
+        # subsampling without copying the data matrix.
+        self.candidate_features = (
+            list(candidate_features) if candidate_features is not None else None
+        )
+        self._root: Optional[TreeNode] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree greedily by Gini impurity."""
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        self._register_training_shape(features, labels)
+        self._root = self._grow(features, labels, depth=0)
+        return self
+
+    @property
+    def root(self) -> TreeNode:
+        """Root of the fitted tree."""
+        self._check_fitted()
+        assert self._root is not None
+        return self._root
+
+    def predict_one(self, row: np.ndarray) -> int:
+        """Route one row from root to a leaf."""
+        row = validate_row(row, self.n_features)
+        node = self.root
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            assert node.left is not None and node.right is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        assert node.label is not None
+        return int(node.label)
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> TreeNode:
+        if (
+            depth >= self.max_depth
+            or len(labels) < self.min_samples_split
+            or len(np.unique(labels)) == 1
+        ):
+            return TreeNode(label=_majority_label(labels))
+
+        split = self._best_split(features, labels)
+        if split is None:
+            return TreeNode(label=_majority_label(labels))
+        feature, threshold, gain = split
+        if gain < self.min_impurity_decrease:
+            return TreeNode(label=_majority_label(labels))
+
+        mask = features[:, feature] <= threshold
+        return TreeNode(
+            feature=feature,
+            threshold=int(threshold),
+            left=self._grow(features[mask], labels[mask], depth + 1),
+            right=self._grow(features[~mask], labels[~mask], depth + 1),
+        )
+
+    def _best_split(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> Optional[Tuple[int, int, float]]:
+        """Best ``(feature, threshold, gain)`` over all candidate splits."""
+        parent_impurity = _gini(labels)
+        n = len(labels)
+        best: Optional[Tuple[int, int, float]] = None
+        candidates = (
+            self.candidate_features
+            if self.candidate_features is not None
+            else range(features.shape[1])
+        )
+        for feature in candidates:
+            column = features[:, feature]
+            for threshold in np.unique(column)[:-1]:
+                mask = column <= threshold
+                left, right = labels[mask], labels[~mask]
+                if len(left) == 0 or len(right) == 0:
+                    continue
+                weighted = (
+                    len(left) / n * _gini(left) + len(right) / n * _gini(right)
+                )
+                gain = parent_impurity - weighted
+                if best is None or gain > best[2]:
+                    best = (feature, int(threshold), gain)
+        return best
+
+
+def _gini(labels: np.ndarray) -> float:
+    """Gini impurity of a label vector."""
+    if len(labels) == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    proportions = counts / counts.sum()
+    return float(1.0 - (proportions**2).sum())
+
+
+def _majority_label(labels: np.ndarray) -> int:
+    """Most frequent label (lowest label wins ties, deterministically)."""
+    values, counts = np.unique(labels, return_counts=True)
+    return int(values[int(np.argmax(counts))])

@@ -1,0 +1,94 @@
+"""Discretization of continuous features into integer codes.
+
+The privacy machinery (joint distributions, Bayesian adversary) and the
+naive-Bayes / tree protocols operate over discrete domains; continuous
+covariates such as age or weight are binned here. Both equal-width and
+quantile binning are supported; bin edges learned on training data are
+reused at prediction time so the plain and secure paths see identical
+codes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class DiscretizationError(Exception):
+    """Raised on invalid binning configuration or unfitted use."""
+
+
+class Discretizer:
+    """Per-column binner mapping floats to codes ``0..bins-1``.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of output categories per column.
+    strategy:
+        ``"uniform"`` for equal-width bins over the training range, or
+        ``"quantile"`` for (approximately) equal-population bins.
+    """
+
+    def __init__(self, n_bins: int = 4, strategy: str = "uniform") -> None:
+        if n_bins < 2:
+            raise DiscretizationError(f"need at least 2 bins, got {n_bins}")
+        if strategy not in ("uniform", "quantile"):
+            raise DiscretizationError(
+                f"unknown strategy {strategy!r}; expected 'uniform' or 'quantile'"
+            )
+        self.n_bins = n_bins
+        self.strategy = strategy
+        self._edges: Optional[List[np.ndarray]] = None
+
+    def fit(self, features: np.ndarray) -> "Discretizer":
+        """Learn bin edges per column."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise DiscretizationError(
+                f"expected a 2-d matrix, got shape {features.shape}"
+            )
+        self._edges = []
+        for column in features.T:
+            if self.strategy == "uniform":
+                low, high = column.min(), column.max()
+                if low == high:
+                    high = low + 1.0
+                edges = np.linspace(low, high, self.n_bins + 1)[1:-1]
+            else:
+                quantiles = np.linspace(0, 100, self.n_bins + 1)[1:-1]
+                edges = np.unique(np.percentile(column, quantiles))
+            self._edges.append(edges)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Map each column into its learned codes (clipped to range)."""
+        if self._edges is None:
+            raise DiscretizationError("transform called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or features.shape[1] != len(self._edges):
+            raise DiscretizationError(
+                f"expected shape (*, {len(self._edges)}), got {features.shape}"
+            )
+        coded = np.zeros(features.shape, dtype=np.int64)
+        for index, edges in enumerate(self._edges):
+            coded[:, index] = np.searchsorted(edges, features[:, index], side="right")
+        return coded
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit then transform in one step."""
+        return self.fit(features).transform(features)
+
+    @property
+    def bin_edges(self) -> List[np.ndarray]:
+        """Learned interior edges per column."""
+        if self._edges is None:
+            raise DiscretizationError("bin_edges requested before fit")
+        return self._edges
+
+    def domain_sizes(self) -> List[int]:
+        """Number of codes each column can produce."""
+        if self._edges is None:
+            raise DiscretizationError("domain_sizes requested before fit")
+        return [len(edges) + 1 for edges in self._edges]

@@ -1,0 +1,99 @@
+"""Random forest -- bagged CART trees with feature subsampling.
+
+Ensembles are the natural next model family for secure classification
+(the original secure-classifier papers list them as future work); the
+plaintext trainer here feeds
+:class:`repro.secure.secure_forest.SecureRandomForestClassifier`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.classifiers.base import Classifier, ClassifierError, validate_row
+from repro.classifiers.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated decision trees.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size (odd values avoid binary-vote ties).
+    max_depth:
+        Depth cap per tree.
+    feature_fraction:
+        Fraction of features each tree may split on (sampled without
+        replacement per tree).
+    bootstrap:
+        Sample training rows with replacement per tree.
+    seed:
+        Randomness for bagging and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 15,
+        max_depth: int = 6,
+        feature_fraction: float = 0.7,
+        bootstrap: bool = True,
+        min_samples_split: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ClassifierError(f"need at least one tree, got {n_trees}")
+        if not 0.0 < feature_fraction <= 1.0:
+            raise ClassifierError(
+                f"feature_fraction must be in (0, 1], got {feature_fraction}"
+            )
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.feature_fraction = feature_fraction
+        self.bootstrap = bootstrap
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self.trees: List[DecisionTreeClassifier] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        """Grow the ensemble."""
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        self._register_training_shape(features, labels)
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = features.shape
+        subset_size = max(1, int(round(self.feature_fraction * n_features)))
+
+        self.trees = []
+        for _ in range(self.n_trees):
+            if self.bootstrap:
+                picks = rng.integers(0, n_samples, n_samples)
+            else:
+                picks = np.arange(n_samples)
+            candidates = sorted(
+                rng.choice(n_features, size=subset_size, replace=False).tolist()
+            )
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                candidate_features=candidates,
+            )
+            tree.fit(features[picks], labels[picks])
+            self.trees.append(tree)
+        return self
+
+    def vote_counts(self, row: np.ndarray) -> np.ndarray:
+        """Per-class vote counts over the ensemble, in class order."""
+        row = validate_row(row, self.n_features)
+        counts = np.zeros(len(self._classes), dtype=int)
+        index_of = {int(c): i for i, c in enumerate(self._classes)}
+        for tree in self.trees:
+            counts[index_of[tree.predict_one(row)]] += 1
+        return counts
+
+    def predict_one(self, row: np.ndarray) -> int:
+        """Majority vote (first maximal class on ties)."""
+        counts = self.vote_counts(row)
+        return int(self._classes[int(np.argmax(counts))])

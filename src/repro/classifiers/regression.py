@@ -1,0 +1,113 @@
+"""Ridge linear regression -- the continuous dosing model.
+
+The IWPC equation the paper's scenario is built on predicts a
+*continuous* weekly dose; the classification task is its bucketed view.
+This trainer fits the linear model by regularised normal equations
+(numpy only) so the secure-regression protocol can serve exact doses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.classifiers.base import ClassifierError, validate_row
+
+
+class RidgeRegression:
+    """Linear least squares with L2 regularisation.
+
+    Parameters
+    ----------
+    l2:
+        Ridge penalty on the weights (the intercept is unpenalised).
+    """
+
+    def __init__(self, l2: float = 1e-3) -> None:
+        if l2 < 0:
+            raise ClassifierError(f"l2 must be non-negative, got {l2}")
+        self.l2 = l2
+        self._weights: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+        self._n_features: int = -1
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegression":
+        """Solve the regularised normal equations."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ClassifierError(
+                f"expected a 2-d feature matrix, got shape {features.shape}"
+            )
+        if len(features) != len(targets):
+            raise ClassifierError(
+                f"{len(features)} rows vs {len(targets)} targets"
+            )
+        if len(features) == 0:
+            raise ClassifierError("cannot fit on an empty dataset")
+
+        n, d = features.shape
+        augmented = np.column_stack([features, np.ones(n)])
+        penalty = self.l2 * np.eye(d + 1)
+        penalty[d, d] = 0.0  # do not penalise the intercept
+        gram = augmented.T @ augmented + penalty
+        solution = np.linalg.solve(gram, augmented.T @ targets)
+        self._weights = solution[:d]
+        self._intercept = float(solution[d])
+        self._n_features = d
+        return self
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Fitted weight vector."""
+        self._check_fitted()
+        assert self._weights is not None
+        return self._weights
+
+    @property
+    def intercept(self) -> float:
+        """Fitted intercept."""
+        self._check_fitted()
+        return self._intercept
+
+    @property
+    def n_features(self) -> int:
+        """Number of features the model was fitted on."""
+        self._check_fitted()
+        return self._n_features
+
+    def predict_one(self, row: np.ndarray) -> float:
+        """Predicted target for one row."""
+        row = validate_row(row, self.n_features).astype(float)
+        return float(self.weights @ row + self._intercept)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Vectorised prediction."""
+        features = np.asarray(features, dtype=float)
+        self._check_fitted()
+        return features @ self.weights + self._intercept
+
+    def _check_fitted(self) -> None:
+        if self._n_features < 0:
+            raise ClassifierError("RidgeRegression must be fitted before use")
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute prediction error."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ClassifierError("shape mismatch or empty arrays in MAE")
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = np.asarray(y_true, float), np.asarray(y_pred, float)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ClassifierError("shape mismatch or empty arrays in R^2")
+    residual = ((y_true - y_pred) ** 2).sum()
+    total = ((y_true - y_true.mean()) ** 2).sum()
+    if total == 0:
+        return 0.0
+    return float(1.0 - residual / total)

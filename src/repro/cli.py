@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Describe the built-in synthetic cohorts.
+``tradeoff``
+    Sweep privacy budgets and print the speedup curve.
+``classify``
+    Run live hybrid (disclose-then-SMC) classifications.
+``attack``
+    Run the Fredrikson-style model-inversion escalation.
+``calibrate``
+    Micro-benchmark this machine's crypto and print the profile.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
+from repro.bench import Table
+from repro.data import (
+    generate_adult_like,
+    generate_cancer_like,
+    generate_warfarin,
+    train_test_split,
+)
+
+DATASETS = {
+    "warfarin": generate_warfarin,
+    "adult": generate_adult_like,
+    "cancer": generate_cancer_like,
+}
+CLASSIFIERS = ("linear", "naive_bayes", "tree")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Privacy-aware feature selection for secure classification "
+            "(reproduction of Pattuk et al., ICDE 2016)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (default 0)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="describe the built-in cohorts")
+
+    tradeoff = commands.add_parser(
+        "tradeoff", help="sweep privacy budgets, print the speedup curve"
+    )
+    _add_common(tradeoff)
+    tradeoff.add_argument(
+        "--budgets", default="0,0.01,0.05,0.1,0.5,1.0",
+        help="comma-separated privacy budgets",
+    )
+
+    classify = commands.add_parser(
+        "classify", help="live hybrid classification demo"
+    )
+    _add_common(classify)
+    classify.add_argument("--budget", type=float, default=0.05,
+                          help="privacy budget (default 0.05)")
+    classify.add_argument("--rows", type=int, default=3,
+                          help="number of test rows to classify live")
+
+    attack = commands.add_parser(
+        "attack", help="model-inversion escalation (Fredrikson-style)"
+    )
+    attack.add_argument("--victims", type=int, default=400,
+                        help="number of attacked records")
+
+    commands.add_parser(
+        "calibrate", help="micro-benchmark this machine's crypto"
+    )
+    return parser
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--dataset", choices=sorted(DATASETS), default="warfarin")
+    sub.add_argument("--classifier", choices=CLASSIFIERS,
+                     default="naive_bayes")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "datasets": _cmd_datasets,
+        "tradeoff": _cmd_tradeoff,
+        "classify": _cmd_classify,
+        "attack": _cmd_attack,
+        "calibrate": _cmd_calibrate,
+    }[args.command]
+    return handler(args)
+
+
+# -- command implementations ------------------------------------------------
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name, generator in sorted(DATASETS.items()):
+        dataset = generator(seed=args.seed)
+        print(dataset.describe())
+        print()
+    return 0
+
+
+def _fitted_pipeline(args: argparse.Namespace) -> tuple:
+    dataset = DATASETS[args.dataset](seed=args.seed)
+    train, test = train_test_split(dataset, seed=args.seed)
+    pipeline = PrivacyAwareClassifier(
+        PipelineConfig(
+            classifier=args.classifier, paillier_bits=384, dgk_bits=192,
+            seed=args.seed,
+        )
+    ).fit(train)
+    return pipeline, train, test
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    pipeline, _, _ = _fitted_pipeline(args)
+    budgets = [float(b) for b in args.budgets.split(",") if b.strip()]
+    points = TradeoffAnalyzer(pipeline).sweep(budgets)
+    print(f"dataset={args.dataset} classifier={args.classifier}")
+    print(TradeoffAnalyzer.format_table(points))
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    pipeline, train, test = _fitted_pipeline(args)
+    solution = pipeline.select_disclosure(args.budget)
+    names = [train.features[i].name for i in solution.disclosed]
+    print(f"disclosure (risk {solution.risk:.4f} <= {args.budget}): "
+          f"{', '.join(names) or '(nothing)'}")
+    print(f"modeled speedup over pure SMC: {pipeline.speedup():.1f}x")
+    ctx = pipeline.make_context(seed=args.seed + 1)
+    mismatches = 0
+    for row_id, row in enumerate(test.X[: args.rows]):
+        label = pipeline.classify(row, ctx=ctx)
+        expected = pipeline.secure_model.predict_quantized(row)
+        mismatches += label != expected
+        print(f"row {row_id}: secure={label} plaintext={expected} "
+              f"{'OK' if label == expected else 'MISMATCH'}")
+    print(f"traffic: {ctx.trace.total_bytes} bytes over "
+          f"{ctx.trace.rounds} rounds")
+    return 1 if mismatches else 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.classifiers import LogisticRegressionClassifier
+    from repro.privacy.inversion import (
+        ModelInversionAttack,
+        augment_with_model_output,
+    )
+
+    cohort = generate_warfarin(seed=args.seed)
+    model = LogisticRegressionClassifier(iterations=150).fit(
+        cohort.X, cohort.y
+    )
+    augmented = augment_with_model_output(cohort, model)
+    attack = ModelInversionAttack(augmented)
+    demographics = [
+        augmented.feature_index(n)
+        for n in ("race", "age_decade", "height_bin", "weight_bin", "gender")
+    ]
+    table = Table("Model-inversion escalation",
+                  ["target", "knowledge", "accuracy", "advantage"])
+    for target_name in ("vkorc1", "cyp2c9"):
+        target = augmented.feature_index(target_name)
+        reports = attack.escalation_curve(
+            augmented.X[: args.victims], target, demographics
+        )
+        for stage, report in zip(
+            ("prior", "+demographics", "+model output"), reports
+        ):
+            table.add_row([target_name, stage, report.attack_accuracy,
+                           report.advantage])
+    table.print()
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.smc.cost_model import calibrate_hardware_profile
+
+    profile = calibrate_hardware_profile()
+    table = Table(f"Calibrated profile: {profile.name}",
+                  ["operation", "seconds"])
+    for op, seconds in sorted(profile.op_seconds.items(),
+                              key=lambda kv: kv[0].value):
+        table.add_row([op.value, seconds])
+    table.print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

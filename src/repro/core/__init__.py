@@ -1,0 +1,37 @@
+"""The paper's primary contribution: privacy-aware disclosure selection
+wrapped around secure classification.
+
+:class:`~repro.core.pipeline.PrivacyAwareClassifier` is the library's
+main entry point. It owns the full workflow:
+
+1. train a plaintext model (hyperplane / naive Bayes / decision tree),
+2. fit the Bayesian adversary on the cohort and build the fast
+   incremental risk evaluator,
+3. build the secure protocol wrapper and its analytic cost function,
+4. optimize the disclosure set under a privacy budget,
+5. answer classification queries with the hybrid disclose-then-SMC
+   protocol -- live crypto included.
+
+:mod:`repro.core.tradeoff` sweeps privacy budgets into the headline
+risk/speedup trade-off curve.
+"""
+
+from repro.core.exceptions import ReproError
+from repro.core.pipeline import PipelineConfig, PrivacyAwareClassifier
+from repro.core.serialization import (
+    DeployedClassifier,
+    load_deployment,
+    save_deployment,
+)
+from repro.core.tradeoff import TradeoffAnalyzer, TradeoffPoint
+
+__all__ = [
+    "DeployedClassifier",
+    "PipelineConfig",
+    "PrivacyAwareClassifier",
+    "ReproError",
+    "TradeoffAnalyzer",
+    "TradeoffPoint",
+    "load_deployment",
+    "save_deployment",
+]

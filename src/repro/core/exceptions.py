@@ -1,0 +1,12 @@
+"""Top-level exception for pipeline misuse.
+
+Subsystem packages raise their own focused exceptions
+(``ComparisonError``, ``RiskError``, ``SelectionError``, ...); the core
+pipeline wraps configuration and ordering errors in
+:class:`ReproError` so application code has a single type to catch at
+the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Raised on invalid pipeline configuration or call ordering."""

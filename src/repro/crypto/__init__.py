@@ -1,0 +1,69 @@
+"""Cryptographic primitives used by the secure-classification protocols.
+
+Everything here is implemented from scratch in pure Python on top of
+arbitrary-precision integers. The package provides:
+
+* :mod:`repro.crypto.numtheory` -- primality testing, prime generation,
+  modular arithmetic helpers (CRT, Jacobi symbol, inverses).
+* :mod:`repro.crypto.rand` -- a seedable deterministic random source so
+  experiments are reproducible end to end.
+* :mod:`repro.crypto.paillier` -- the Paillier additively homomorphic
+  cryptosystem (the workhorse of Bost-style secure classifiers).
+* :mod:`repro.crypto.gm` -- Goldwasser-Micali bitwise (XOR-homomorphic)
+  encryption.
+* :mod:`repro.crypto.dgk` -- a Damgaard-Geisler-Kroigaard style
+  small-plaintext cryptosystem with cheap zero testing, used by the
+  secure comparison protocol.
+* :mod:`repro.crypto.ot` -- 1-out-of-2 and 1-out-of-n oblivious transfer
+  built from RSA blinding, used for private table lookups.
+* :mod:`repro.crypto.secret_sharing` -- additive and Shamir secret
+  sharing.
+* :mod:`repro.crypto.beaver` -- Beaver multiplication-triple generation
+  for share-based arithmetic.
+
+Security note: this is a research artifact. Key sizes default to values
+that make pure-Python experiments practical; the analytic cost model in
+:mod:`repro.smc.cost_model` extrapolates measurements to production key
+sizes. Do not use this package to protect real data.
+"""
+
+from repro.crypto.beaver import BeaverTriple, TrustedDealer
+from repro.crypto.dgk import DgkCiphertext, DgkKeyPair, DgkPrivateKey, DgkPublicKey
+from repro.crypto.gm import GMCiphertext, GMKeyPair, GMPrivateKey, GMPublicKey
+from repro.crypto.ot import ObliviousTransferReceiver, ObliviousTransferSender
+from repro.crypto.paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+from repro.crypto.precompute import PrecomputedEncryptionPool
+from repro.crypto.rand import DeterministicRandom, default_rng
+from repro.crypto.secret_sharing import (
+    AdditiveSecretSharer,
+    ShamirSecretSharer,
+)
+
+__all__ = [
+    "AdditiveSecretSharer",
+    "BeaverTriple",
+    "DeterministicRandom",
+    "DgkCiphertext",
+    "DgkKeyPair",
+    "DgkPrivateKey",
+    "DgkPublicKey",
+    "GMCiphertext",
+    "GMKeyPair",
+    "GMPrivateKey",
+    "GMPublicKey",
+    "ObliviousTransferReceiver",
+    "ObliviousTransferSender",
+    "PaillierCiphertext",
+    "PaillierKeyPair",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "PrecomputedEncryptionPool",
+    "ShamirSecretSharer",
+    "TrustedDealer",
+    "default_rng",
+]

@@ -1,0 +1,76 @@
+"""Beaver multiplication triples from a trusted dealer.
+
+Share-based secure multiplication consumes one precomputed triple
+``(a, b, c)`` with ``c = a * b`` per product. In deployment the dealer
+is replaced by an offline OT/HE phase; the paper's performance model
+charges that phase separately, so a trusted dealer preserves the online
+cost structure exactly while keeping the simulator simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto.rand import DeterministicRandom, default_rng
+from repro.crypto.secret_sharing import AdditiveSecretSharer, AdditiveShare
+
+
+class BeaverError(Exception):
+    """Raised when the triple supply is exhausted or shares mismatch."""
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """One party's shares of a multiplication triple ``(a, b, a*b)``."""
+
+    a: AdditiveShare
+    b: AdditiveShare
+    c: AdditiveShare
+
+
+class TrustedDealer:
+    """Generates correlated randomness for the two computation parties.
+
+    The dealer never sees live data; it only pre-distributes triples, so
+    it maps to the standard "semi-honest helper" / offline-phase
+    assumption in the literature.
+    """
+
+    def __init__(
+        self,
+        sharer: Optional[AdditiveSecretSharer] = None,
+        rng: Optional[DeterministicRandom] = None,
+    ) -> None:
+        self._rng = rng or default_rng()
+        self._sharer = sharer or AdditiveSecretSharer(rng=self._rng)
+
+    @property
+    def modulus(self) -> int:
+        """The ring the triples live in."""
+        return self._sharer.modulus
+
+    def triple(self) -> Tuple[BeaverTriple, BeaverTriple]:
+        """Deal one fresh triple, returning each party's share bundle."""
+        modulus = self._sharer.modulus
+        a = self._rng.randbelow(modulus)
+        b = self._rng.randbelow(modulus)
+        c = (a * b) % modulus
+        a_shares = self._sharer.share(a)
+        b_shares = self._sharer.share(b)
+        c_shares = self._sharer.share(c)
+        first = BeaverTriple(a=a_shares[0], b=b_shares[0], c=c_shares[0])
+        second = BeaverTriple(a=a_shares[1], b=b_shares[1], c=c_shares[1])
+        return first, second
+
+    def triples(self, count: int) -> Tuple[List[BeaverTriple], List[BeaverTriple]]:
+        """Deal ``count`` triples as two per-party lists."""
+        if count < 0:
+            raise BeaverError(f"triple count must be non-negative, got {count}")
+        firsts: List[BeaverTriple] = []
+        seconds: List[BeaverTriple] = []
+        for _ in range(count):
+            first, second = self.triple()
+            firsts.append(first)
+            seconds.append(second)
+        return firsts, seconds

@@ -1,0 +1,161 @@
+"""Goldwasser-Micali bitwise probabilistic encryption.
+
+GM encrypts a single bit as a quadratic residue (bit 0) or a
+pseudo-residue (bit 1) modulo ``n = p*q``. Multiplying two ciphertexts
+XORs the underlying bits, which is exactly the homomorphism the
+DGK/Veugen comparison protocol needs to blind comparison outcome bits.
+
+The key uses Blum primes (``p, q = 3 mod 4``) so that ``-1`` is a
+non-residue modulo each factor, making non-residue sampling trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.crypto.numtheory import (
+    find_quadratic_nonresidue,
+    generate_blum_prime,
+    is_quadratic_residue_mod_prime,
+    jacobi,
+)
+from repro.crypto.rand import DeterministicRandom, default_rng
+
+DEFAULT_KEY_BITS = 512
+
+
+class GMError(Exception):
+    """Raised on misuse of GM keys or ciphertexts."""
+
+
+@dataclass(frozen=True)
+class GMPublicKey:
+    """Public GM key: modulus ``n`` and a fixed pseudo-residue ``x``."""
+
+    n: int
+    pseudo_residue: int
+
+    @property
+    def key_bits(self) -> int:
+        """Bit length of the modulus."""
+        return self.n.bit_length()
+
+    def encrypt_bit(
+        self, bit: int, rng: Optional[DeterministicRandom] = None
+    ) -> "GMCiphertext":
+        """Encrypt one bit: ``x^b * r^2 mod n`` for random unit ``r``."""
+        if bit not in (0, 1):
+            raise GMError(f"GM encrypts single bits, got {bit!r}")
+        rng = rng or default_rng()
+        r = rng.random_unit(self.n)
+        value = pow(r, 2, self.n)
+        if bit:
+            value = (value * self.pseudo_residue) % self.n
+        return GMCiphertext(public_key=self, value=value)
+
+    def encrypt_bits(
+        self, bits: Iterable[int], rng: Optional[DeterministicRandom] = None
+    ) -> List["GMCiphertext"]:
+        """Encrypt a sequence of bits, most-significant first by caller
+        convention."""
+        rng = rng or default_rng()
+        return [self.encrypt_bit(b, rng=rng) for b in bits]
+
+
+@dataclass(frozen=True)
+class GMPrivateKey:
+    """Private GM key: the factorisation of the modulus."""
+
+    public_key: GMPublicKey
+    p: int
+    q: int
+
+    def decrypt_bit(self, ciphertext: "GMCiphertext") -> int:
+        """Decrypt one bit by testing quadratic residuosity mod ``p``."""
+        if ciphertext.public_key.n != self.public_key.n:
+            raise GMError("ciphertext was encrypted under a different key")
+        return 0 if is_quadratic_residue_mod_prime(ciphertext.value, self.p) else 1
+
+    def decrypt_bits(self, ciphertexts: Iterable["GMCiphertext"]) -> List[int]:
+        """Decrypt a sequence of bit ciphertexts."""
+        return [self.decrypt_bit(c) for c in ciphertexts]
+
+
+@dataclass(frozen=True)
+class GMKeyPair:
+    """A matched GM public/private key pair."""
+
+    public_key: GMPublicKey
+    private_key: GMPrivateKey
+
+    @staticmethod
+    def generate(
+        key_bits: int = DEFAULT_KEY_BITS, rng: Optional[DeterministicRandom] = None
+    ) -> "GMKeyPair":
+        """Generate a GM key with Blum prime factors.
+
+        The published pseudo-residue has Jacobi symbol +1 modulo ``n``
+        (so ciphertexts of 0 and 1 are indistinguishable without the
+        factorisation) but is a non-residue modulo both factors.
+        """
+        rng = rng or default_rng()
+        half = key_bits // 2
+        while True:
+            p = generate_blum_prime(half, rng=rng)
+            q = generate_blum_prime(half, rng=rng)
+            if p != q:
+                break
+        n = p * q
+        x = find_quadratic_nonresidue(p, q, rng=rng)
+        if jacobi(x, n) != 1:  # pragma: no cover - construction guarantees +1
+            raise GMError("sampled pseudo-residue has wrong Jacobi symbol")
+        public = GMPublicKey(n=n, pseudo_residue=x)
+        private = GMPrivateKey(public_key=public, p=p, q=q)
+        return GMKeyPair(public_key=public, private_key=private)
+
+
+@dataclass(frozen=True)
+class GMCiphertext:
+    """A GM ciphertext. ``^`` XORs plaintext bits homomorphically."""
+
+    public_key: GMPublicKey
+    value: int
+
+    def __xor__(self, other) -> "GMCiphertext":
+        if isinstance(other, GMCiphertext):
+            if other.public_key.n != self.public_key.n:
+                raise GMError("cannot combine ciphertexts under different keys")
+            return GMCiphertext(
+                public_key=self.public_key,
+                value=(self.value * other.value) % self.public_key.n,
+            )
+        if isinstance(other, int):
+            if other not in (0, 1):
+                raise GMError(f"can only XOR with a bit, got {other!r}")
+            if other == 0:
+                return self
+            return GMCiphertext(
+                public_key=self.public_key,
+                value=(self.value * self.public_key.pseudo_residue)
+                % self.public_key.n,
+            )
+        return NotImplemented
+
+    def __rxor__(self, other) -> "GMCiphertext":
+        return self.__xor__(other)
+
+    def rerandomize(
+        self, rng: Optional[DeterministicRandom] = None
+    ) -> "GMCiphertext":
+        """Multiply by a fresh random square, hiding ciphertext lineage."""
+        rng = rng or default_rng()
+        r = rng.random_unit(self.public_key.n)
+        return GMCiphertext(
+            public_key=self.public_key,
+            value=(self.value * pow(r, 2, self.public_key.n)) % self.public_key.n,
+        )
+
+    def serialized_size_bytes(self) -> int:
+        """Wire size of this ciphertext in bytes."""
+        return (self.public_key.n.bit_length() + 7) // 8

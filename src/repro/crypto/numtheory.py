@@ -1,0 +1,265 @@
+"""Number-theoretic primitives: primality, primes, CRT, Jacobi symbol.
+
+These routines back every cryptosystem in :mod:`repro.crypto`. They are
+written for clarity first, but the hot paths (Miller-Rabin witnesses,
+modular exponentiation) rely on Python's native ``pow`` which is fast
+enough for the key sizes used in experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.crypto.rand import DeterministicRandom, default_rng
+
+# Small primes used for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES: Tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277,
+    281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+)
+
+# Deterministic Miller-Rabin witness sets. Testing against the listed
+# bases is *proven* correct for all n below the associated bound.
+_DETERMINISTIC_BASES: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
+    (2047, (2,)),
+    (1373653, (2, 3)),
+    (9080191, (31, 73)),
+    (25326001, (2, 3, 5)),
+    (3215031751, (2, 3, 5, 7)),
+    (4759123141, (2, 7, 61)),
+    (1122004669633, (2, 13, 23, 1662803)),
+    (2152302898747, (2, 3, 5, 7, 11)),
+    (3474749660383, (2, 3, 5, 7, 11, 13)),
+    (341550071728321, (2, 3, 5, 7, 11, 13, 17)),
+    (3825123056546413051, (2, 3, 5, 7, 11, 13, 17, 19, 23)),
+    (318665857834031151167461, (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)),
+)
+
+_MILLER_RABIN_ROUNDS = 40
+
+
+def _miller_rabin_witness(n: int, base: int) -> bool:
+    """Return ``True`` if ``base`` witnesses that ``n`` is composite."""
+    if base % n == 0:
+        return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(base, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(r - 1):
+        x = pow(x, 2, n)
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rng: Optional[DeterministicRandom] = None) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (proven) for ``n`` below ~3.3e24 using fixed witness
+    sets; probabilistic with 40 random rounds above that, giving error
+    probability below ``4^-40``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    for bound, bases in _DETERMINISTIC_BASES:
+        if n < bound:
+            return not any(_miller_rabin_witness(n, b) for b in bases)
+    rng = rng or default_rng()
+    for _ in range(_MILLER_RABIN_ROUNDS):
+        base = rng.randint(2, n - 2)
+        if _miller_rabin_witness(n, base):
+            return False
+    return True
+
+
+def generate_prime(
+    bits: int,
+    rng: Optional[DeterministicRandom] = None,
+    condition=None,
+) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    Parameters
+    ----------
+    bits:
+        Bit length of the prime; must be at least 3.
+    rng:
+        Randomness source; the module default is used when omitted.
+    condition:
+        Optional predicate a candidate prime must additionally satisfy
+        (e.g. ``lambda p: p % 4 == 3`` for Blum primes).
+    """
+    if bits < 3:
+        raise ValueError(f"prime bit length must be >= 3, got {bits}")
+    rng = rng or default_rng()
+    while True:
+        candidate = rng.random_odd(bits)
+        if condition is not None and not condition(candidate):
+            continue
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def generate_blum_prime(bits: int, rng: Optional[DeterministicRandom] = None) -> int:
+    """Generate a prime congruent to 3 mod 4 (a Blum prime).
+
+    Goldwasser-Micali key generation uses Blum primes so that ``-1`` is a
+    quadratic non-residue modulo each factor.
+    """
+    return generate_prime(bits, rng=rng, condition=lambda p: p % 4 == 3)
+
+
+def generate_distinct_primes(
+    bits: int, count: int, rng: Optional[DeterministicRandom] = None, condition=None
+) -> Tuple[int, ...]:
+    """Generate ``count`` distinct primes of the given bit length."""
+    rng = rng or default_rng()
+    primes: list = []
+    while len(primes) < count:
+        p = generate_prime(bits, rng=rng, condition=condition)
+        if p not in primes:
+            primes.append(p)
+    return tuple(primes)
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def modinv(a: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``modulus``.
+
+    Raises ``ValueError`` when the inverse does not exist, mirroring the
+    behaviour of ``pow(a, -1, modulus)`` but with a clearer message.
+    """
+    try:
+        return pow(a, -1, modulus)
+    except ValueError as exc:
+        raise ValueError(
+            f"{a} has no inverse modulo {modulus} (gcd != 1)"
+        ) from exc
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two integers."""
+    return abs(a * b) // math.gcd(a, b)
+
+
+def crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Chinese Remainder Theorem for pairwise-coprime moduli.
+
+    Returns the unique ``x`` modulo ``prod(moduli)`` such that
+    ``x % moduli[i] == residues[i] % moduli[i]`` for every ``i``.
+    """
+    if len(residues) != len(moduli):
+        raise ValueError(
+            f"residue/modulus count mismatch: {len(residues)} vs {len(moduli)}"
+        )
+    if not moduli:
+        raise ValueError("crt requires at least one congruence")
+    total_modulus = 1
+    for m in moduli:
+        total_modulus *= m
+    result = 0
+    for residue, modulus in zip(residues, moduli):
+        partial = total_modulus // modulus
+        result += residue * partial * modinv(partial, modulus)
+    return result % total_modulus
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol ``(a/n)`` for odd positive ``n``.
+
+    Returns -1, 0 or 1. Used by Goldwasser-Micali to pick pseudo-residues
+    and by decryption correctness tests.
+    """
+    if n <= 0 or n % 2 == 0:
+        raise ValueError(f"Jacobi symbol requires odd positive n, got {n}")
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def is_quadratic_residue_mod_prime(a: int, p: int) -> bool:
+    """Euler criterion: is ``a`` a quadratic residue modulo prime ``p``?"""
+    a %= p
+    if a == 0:
+        return True
+    return pow(a, (p - 1) // 2, p) == 1
+
+
+def find_quadratic_nonresidue(
+    p: int, q: int, rng: Optional[DeterministicRandom] = None
+) -> int:
+    """Find ``x`` mod ``p*q`` that is a non-residue mod both factors.
+
+    Such an ``x`` has Jacobi symbol +1 modulo ``n = p*q`` yet is not a
+    square -- exactly what Goldwasser-Micali encryption of a 1-bit needs.
+    """
+    rng = rng or default_rng()
+    n = p * q
+    while True:
+        x = rng.randint(2, n - 1)
+        if not is_quadratic_residue_mod_prime(x, p) and not is_quadratic_residue_mod_prime(x, q):
+            return x
+
+
+def integer_sqrt(n: int) -> int:
+    """Floor of the integer square root (exact, via ``math.isqrt``)."""
+    if n < 0:
+        raise ValueError("integer_sqrt of a negative number")
+    return math.isqrt(n)
+
+
+def bit_length_of_product(factors: Iterable[int]) -> int:
+    """Bit length of the product of ``factors`` without materialising it
+    when the factors are huge (falls back to exact product -- the sizes
+    in this library make that cheap)."""
+    product = 1
+    for f in factors:
+        product *= f
+    return product.bit_length()

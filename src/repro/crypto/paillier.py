@@ -1,0 +1,278 @@
+"""The Paillier additively homomorphic cryptosystem.
+
+Paillier encryption is the arithmetic backbone of the Bost et al. secure
+classifiers that this reproduction builds on: encrypted dot products,
+blinded comparison inputs and the argmax protocol all run over Paillier
+ciphertexts.
+
+Implementation notes
+--------------------
+* We fix the generator ``g = n + 1`` so that encryption reduces to
+  ``(1 + m*n) * r^n mod n^2`` -- a single modular exponentiation.
+* Signed plaintexts are supported by mapping negatives into the upper
+  half of the plaintext space (two's-complement style wraparound); see
+  :meth:`PaillierPublicKey.encode_signed` / ``decode_signed``.
+* Every ciphertext remembers its public key so homomorphic operators can
+  type-check key compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.numtheory import generate_prime, lcm, modinv
+from repro.crypto.rand import DeterministicRandom, default_rng
+
+DEFAULT_KEY_BITS = 512
+"""Default modulus size; small enough for fast pure-Python experiments.
+
+The analytic cost model (:mod:`repro.smc.cost_model`) extrapolates
+measured operation counts to 2048-bit production keys.
+"""
+
+
+class PaillierError(Exception):
+    """Raised on misuse of Paillier keys or ciphertexts."""
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public half of a Paillier key pair.
+
+    Attributes
+    ----------
+    n:
+        RSA-style modulus ``p * q``.
+    """
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        """The ciphertext modulus ``n^2``."""
+        return self.n * self.n
+
+    @property
+    def max_plaintext(self) -> int:
+        """Largest raw plaintext (``n - 1``)."""
+        return self.n - 1
+
+    @property
+    def signed_bound(self) -> int:
+        """Magnitude bound for signed encoding: values in
+        ``(-n/2, n/2)`` round-trip exactly."""
+        return self.n // 2
+
+    @property
+    def key_bits(self) -> int:
+        """Bit length of the modulus."""
+        return self.n.bit_length()
+
+    def encode_signed(self, value: int) -> int:
+        """Map a signed integer into the plaintext group ``Z_n``."""
+        if abs(value) >= self.signed_bound:
+            raise PaillierError(
+                f"plaintext magnitude {abs(value)} exceeds signed bound "
+                f"{self.signed_bound}"
+            )
+        return value % self.n
+
+    def decode_signed(self, raw: int) -> int:
+        """Inverse of :meth:`encode_signed`."""
+        if raw > self.signed_bound:
+            return raw - self.n
+        return raw
+
+    def encrypt(
+        self, value: int, rng: Optional[DeterministicRandom] = None, signed: bool = True
+    ) -> "PaillierCiphertext":
+        """Encrypt ``value``.
+
+        Parameters
+        ----------
+        value:
+            Integer plaintext. With ``signed=True`` (default) negatives
+            are supported via wraparound encoding.
+        rng:
+            Randomness source for the blinding factor.
+        signed:
+            When ``False``, ``value`` must already lie in ``[0, n)``.
+        """
+        rng = rng or default_rng()
+        plaintext = self.encode_signed(value) if signed else value % self.n
+        nonce = rng.random_unit(self.n)
+        n_sq = self.n_squared
+        # (1 + n)^m == 1 + m*n (mod n^2), avoiding one exponentiation.
+        cipher = ((1 + plaintext * self.n) % n_sq) * pow(nonce, self.n, n_sq) % n_sq
+        return PaillierCiphertext(public_key=self, value=cipher)
+
+    def encrypt_zero(self, rng: Optional[DeterministicRandom] = None) -> "PaillierCiphertext":
+        """A fresh encryption of zero, used for re-randomisation."""
+        return self.encrypt(0, rng=rng)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private half of a Paillier key pair.
+
+    Holds Carmichael's ``lambda(n)`` and the precomputed ``mu`` so
+    decryption is two exponentiations and a multiplication.
+    """
+
+    public_key: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt_raw(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to the raw group element in ``[0, n)``."""
+        if ciphertext.public_key.n != self.public_key.n:
+            raise PaillierError("ciphertext was encrypted under a different key")
+        n = self.public_key.n
+        n_sq = self.public_key.n_squared
+        u = pow(ciphertext.value, self.lam, n_sq)
+        l_of_u = (u - 1) // n
+        return (l_of_u * self.mu) % n
+
+    def decrypt(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to a signed integer (inverse of signed encryption)."""
+        return self.public_key.decode_signed(self.decrypt_raw(ciphertext))
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    """A matched public/private Paillier key pair."""
+
+    public_key: PaillierPublicKey
+    private_key: PaillierPrivateKey
+
+    @staticmethod
+    def generate(
+        key_bits: int = DEFAULT_KEY_BITS, rng: Optional[DeterministicRandom] = None
+    ) -> "PaillierKeyPair":
+        """Generate a fresh key pair with an (approximately) ``key_bits``
+        modulus.
+
+        The two prime factors are each ``key_bits // 2`` bits, rejected
+        until their product has full bit length and ``gcd(n, phi) == 1``
+        holds (guaranteed for distinct primes of equal size).
+        """
+        rng = rng or default_rng()
+        half = key_bits // 2
+        while True:
+            p = generate_prime(half, rng=rng)
+            q = generate_prime(half, rng=rng)
+            if p == q:
+                continue
+            n = p * q
+            if n.bit_length() != key_bits:
+                continue
+            lam = lcm(p - 1, q - 1)
+            public = PaillierPublicKey(n=n)
+            # mu = (L(g^lambda mod n^2))^-1 mod n with g = n + 1:
+            # g^lambda = 1 + lambda*n (mod n^2), so L(...) = lambda mod n.
+            mu = modinv(lam % n, n)
+            private = PaillierPrivateKey(public_key=public, lam=lam, mu=mu)
+            return PaillierKeyPair(public_key=public, private_key=private)
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """An element of ``Z_{n^2}^*`` carrying its public key.
+
+    Supports the additive homomorphism through Python operators::
+
+        enc(a) + enc(b)      -> enc(a + b)
+        enc(a) + b           -> enc(a + b)      (plaintext add)
+        enc(a) * k           -> enc(a * k)      (plaintext multiply)
+        -enc(a)              -> enc(-a)
+        enc(a) - enc(b)      -> enc(a - b)
+    """
+
+    public_key: PaillierPublicKey
+    value: int
+
+    def _require_same_key(self, other: "PaillierCiphertext") -> None:
+        if self.public_key.n != other.public_key.n:
+            raise PaillierError("cannot combine ciphertexts under different keys")
+
+    def __add__(self, other) -> "PaillierCiphertext":
+        n_sq = self.public_key.n_squared
+        if isinstance(other, PaillierCiphertext):
+            self._require_same_key(other)
+            return PaillierCiphertext(
+                public_key=self.public_key, value=(self.value * other.value) % n_sq
+            )
+        if isinstance(other, int):
+            encoded = self.public_key.encode_signed(other)
+            plain_part = (1 + encoded * self.public_key.n) % n_sq
+            return PaillierCiphertext(
+                public_key=self.public_key, value=(self.value * plain_part) % n_sq
+            )
+        return NotImplemented
+
+    def __radd__(self, other) -> "PaillierCiphertext":
+        return self.__add__(other)
+
+    def __neg__(self) -> "PaillierCiphertext":
+        n_sq = self.public_key.n_squared
+        return PaillierCiphertext(
+            public_key=self.public_key, value=modinv(self.value, n_sq)
+        )
+
+    def __sub__(self, other) -> "PaillierCiphertext":
+        if isinstance(other, PaillierCiphertext):
+            return self + (-other)
+        if isinstance(other, int):
+            return self + (-other)
+        return NotImplemented
+
+    def __mul__(self, scalar) -> "PaillierCiphertext":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        n_sq = self.public_key.n_squared
+        exponent = self.public_key.encode_signed(scalar)
+        return PaillierCiphertext(
+            public_key=self.public_key, value=pow(self.value, exponent, n_sq)
+        )
+
+    def __rmul__(self, scalar) -> "PaillierCiphertext":
+        return self.__mul__(scalar)
+
+    def mul_unsigned(self, scalar: int) -> "PaillierCiphertext":
+        """Multiply the plaintext by a raw element of ``Z_n``.
+
+        Unlike ``*``, the scalar is *not* interpreted as signed -- any
+        value in ``[0, n)`` is allowed. Protocols use this for full-range
+        multiplicative blinding (``rho * m mod n`` is uniform for
+        ``m != 0`` coprime with ``n``).
+        """
+        n_sq = self.public_key.n_squared
+        exponent = scalar % self.public_key.n
+        return PaillierCiphertext(
+            public_key=self.public_key, value=pow(self.value, exponent, n_sq)
+        )
+
+    def rerandomize(
+        self, rng: Optional[DeterministicRandom] = None
+    ) -> "PaillierCiphertext":
+        """Return a fresh-looking ciphertext of the same plaintext.
+
+        Protocols re-randomise before returning intermediate ciphertexts
+        so the other party cannot link them to earlier messages.
+        """
+        rng = rng or default_rng()
+        n = self.public_key.n
+        n_sq = self.public_key.n_squared
+        nonce = rng.random_unit(n)
+        return PaillierCiphertext(
+            public_key=self.public_key,
+            value=(self.value * pow(nonce, n, n_sq)) % n_sq,
+        )
+
+    def serialized_size_bytes(self) -> int:
+        """Wire size of this ciphertext (``2 * key_bits / 8`` bytes).
+
+        Used by the network simulator's byte accounting.
+        """
+        return (self.public_key.n_squared.bit_length() + 7) // 8

@@ -1,0 +1,191 @@
+"""Additive and Shamir secret sharing.
+
+The share-based arithmetic layer (:mod:`repro.smc.arithmetic`) runs over
+additive shares; Shamir sharing is provided for threshold scenarios and
+for property-based testing of reconstruction identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.numtheory import is_probable_prime, modinv
+from repro.crypto.rand import DeterministicRandom, default_rng
+
+DEFAULT_MODULUS_BITS = 64
+
+
+class SecretSharingError(Exception):
+    """Raised on invalid sharing or reconstruction requests."""
+
+
+@dataclass(frozen=True)
+class AdditiveShare:
+    """One party's additive share: a value in ``Z_modulus``."""
+
+    value: int
+    modulus: int
+
+    def __add__(self, other) -> "AdditiveShare":
+        if isinstance(other, AdditiveShare):
+            if other.modulus != self.modulus:
+                raise SecretSharingError("share moduli differ")
+            return AdditiveShare((self.value + other.value) % self.modulus, self.modulus)
+        if isinstance(other, int):
+            return AdditiveShare((self.value + other) % self.modulus, self.modulus)
+        return NotImplemented
+
+    def __radd__(self, other) -> "AdditiveShare":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "AdditiveShare":
+        if isinstance(other, AdditiveShare):
+            if other.modulus != self.modulus:
+                raise SecretSharingError("share moduli differ")
+            return AdditiveShare((self.value - other.value) % self.modulus, self.modulus)
+        if isinstance(other, int):
+            return AdditiveShare((self.value - other) % self.modulus, self.modulus)
+        return NotImplemented
+
+    def __mul__(self, scalar) -> "AdditiveShare":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        return AdditiveShare((self.value * scalar) % self.modulus, self.modulus)
+
+    def __rmul__(self, scalar) -> "AdditiveShare":
+        return self.__mul__(scalar)
+
+
+class AdditiveSecretSharer:
+    """Split integers into ``n`` additive shares modulo ``2^k`` or a prime.
+
+    Signed values are supported through the usual centred decoding: a
+    reconstructed value above ``modulus // 2`` is interpreted as
+    negative.
+    """
+
+    def __init__(
+        self,
+        modulus: int = 1 << DEFAULT_MODULUS_BITS,
+        rng: Optional[DeterministicRandom] = None,
+    ) -> None:
+        if modulus < 2:
+            raise SecretSharingError(f"modulus must be >= 2, got {modulus}")
+        self.modulus = modulus
+        self._rng = rng or default_rng()
+
+    def share(self, secret: int, parties: int = 2) -> List[AdditiveShare]:
+        """Split ``secret`` into ``parties`` uniformly random shares."""
+        if parties < 2:
+            raise SecretSharingError(f"need at least 2 parties, got {parties}")
+        shares = [self._rng.randbelow(self.modulus) for _ in range(parties - 1)]
+        last = (secret - sum(shares)) % self.modulus
+        shares.append(last)
+        return [AdditiveShare(s, self.modulus) for s in shares]
+
+    def reconstruct(self, shares: Sequence[AdditiveShare]) -> int:
+        """Recombine shares into the signed secret."""
+        if not shares:
+            raise SecretSharingError("cannot reconstruct from zero shares")
+        moduli = {s.modulus for s in shares}
+        if moduli != {self.modulus}:
+            raise SecretSharingError("shares carry a different modulus")
+        raw = sum(s.value for s in shares) % self.modulus
+        return self.decode_signed(raw)
+
+    def decode_signed(self, raw: int) -> int:
+        """Centred decoding of a raw group element."""
+        if raw > self.modulus // 2:
+            return raw - self.modulus
+        return raw
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """One evaluation point of the sharing polynomial."""
+
+    index: int
+    value: int
+
+
+class ShamirSecretSharer:
+    """(t, n) threshold sharing over a prime field.
+
+    Any ``threshold`` shares reconstruct the secret via Lagrange
+    interpolation at zero; fewer reveal nothing (information
+    theoretically).
+    """
+
+    def __init__(
+        self,
+        prime: int,
+        threshold: int,
+        parties: int,
+        rng: Optional[DeterministicRandom] = None,
+    ) -> None:
+        if not is_probable_prime(prime):
+            raise SecretSharingError(f"{prime} is not prime")
+        if not 1 <= threshold <= parties:
+            raise SecretSharingError(
+                f"invalid (t={threshold}, n={parties}) threshold scheme"
+            )
+        if parties >= prime:
+            raise SecretSharingError("field too small for the party count")
+        self.prime = prime
+        self.threshold = threshold
+        self.parties = parties
+        self._rng = rng or default_rng()
+
+    def share(self, secret: int) -> List[ShamirShare]:
+        """Evaluate a random degree ``t-1`` polynomial at ``1..n``."""
+        secret %= self.prime
+        coefficients = [secret] + [
+            self._rng.randbelow(self.prime) for _ in range(self.threshold - 1)
+        ]
+        return [
+            ShamirShare(index=i, value=self._evaluate(coefficients, i))
+            for i in range(1, self.parties + 1)
+        ]
+
+    def reconstruct(self, shares: Sequence[ShamirShare]) -> int:
+        """Lagrange-interpolate the polynomial at zero."""
+        if len({s.index for s in shares}) < self.threshold:
+            raise SecretSharingError(
+                f"need {self.threshold} distinct shares, got {len(shares)}"
+            )
+        subset = list(shares)[: self.threshold]
+        secret = 0
+        for i, share_i in enumerate(subset):
+            numerator, denominator = 1, 1
+            for j, share_j in enumerate(subset):
+                if i == j:
+                    continue
+                numerator = (numerator * (-share_j.index)) % self.prime
+                denominator = (
+                    denominator * (share_i.index - share_j.index)
+                ) % self.prime
+            weight = numerator * modinv(denominator % self.prime, self.prime)
+            secret = (secret + share_i.value * weight) % self.prime
+        return secret
+
+    def _evaluate(self, coefficients: Sequence[int], x: int) -> int:
+        """Horner evaluation of the polynomial mod the field prime."""
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = (result * x + coefficient) % self.prime
+        return result
+
+
+def share_vector(
+    values: Sequence[int],
+    sharer: AdditiveSecretSharer,
+    parties: int = 2,
+) -> Tuple[List[AdditiveShare], ...]:
+    """Share a vector componentwise; returns one share-vector per party."""
+    per_party: List[List[AdditiveShare]] = [[] for _ in range(parties)]
+    for value in values:
+        shares = sharer.share(value, parties=parties)
+        for pid, share in enumerate(shares):
+            per_party[pid].append(share)
+    return tuple(per_party)

@@ -1,0 +1,46 @@
+"""Deterministic train/test and cross-validation splits."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.data.schema import Dataset
+
+
+class SplitError(Exception):
+    """Raised on invalid split parameters."""
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.25, seed: int = 0
+) -> Tuple[Dataset, Dataset]:
+    """Shuffle rows deterministically and split into train/test views."""
+    if not 0.0 < test_fraction < 1.0:
+        raise SplitError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.n_samples)
+    n_test = max(1, int(round(dataset.n_samples * test_fraction)))
+    if n_test >= dataset.n_samples:
+        raise SplitError("test fraction leaves no training data")
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return dataset.subset(train_idx, "/train"), dataset.subset(test_idx, "/test")
+
+
+def k_fold_indices(
+    n_samples: int, n_folds: int = 5, seed: int = 0
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_indices, test_indices)`` per fold."""
+    if n_folds < 2:
+        raise SplitError(f"need at least 2 folds, got {n_folds}")
+    if n_folds > n_samples:
+        raise SplitError(f"{n_folds} folds for only {n_samples} samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_samples)
+    folds: List[np.ndarray] = np.array_split(order, n_folds)
+    for i in range(n_folds):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        yield train, test

@@ -1,0 +1,234 @@
+"""IWPC-warfarin-like pharmacogenomic cohort generator.
+
+The paper's motivating scenario: a pharmacogenomic dosing model whose
+output, combined with public demographics, lets an adversary infer a
+patient's ``VKORC1``/``CYP2C9`` genotype (Fredrikson et al., USENIX
+Security 2014). The real IWPC cohort is not redistributable, so this
+generator reproduces its *correlation structure* from published facts:
+
+* race-stratified allele frequencies of VKORC1 -1639G>A and the CYP2C9
+  ``*2``/``*3`` variants (the A allele of VKORC1 is common in East-Asian
+  populations, rare in African-ancestry populations),
+* demographic covariates (age, height, weight, amiodarone and enzyme-
+  inducer co-medication, smoking) with race/age-dependent distributions,
+* the published IWPC linear dosing equation mapping all of the above to
+  a weekly warfarin dose, discretised into the standard low (<21
+  mg/week) / medium / high (>49 mg/week) three-class label.
+
+Because the label really is a (noisy) linear function of genotype and
+demographics, disclosing demographics genuinely leaks genotype
+information through the model -- the property the privacy-risk
+experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.schema import Dataset, FeatureSpec
+
+# Race categories and marginal frequencies (IWPC-like cohort mix).
+RACES = ("white", "asian", "black", "other")
+_RACE_PROBS = (0.55, 0.30, 0.09, 0.06)
+
+# VKORC1 -1639 A-allele frequency by race (published population genetics).
+_VKORC1_A_FREQ = {"white": 0.40, "asian": 0.90, "black": 0.10, "other": 0.50}
+
+# CYP2C9 genotype distribution by race over {*1/*1, *1/*2, *1/*3, other}.
+_CYP2C9_PROBS = {
+    "white": (0.65, 0.18, 0.12, 0.05),
+    "asian": (0.92, 0.01, 0.06, 0.01),
+    "black": (0.90, 0.04, 0.03, 0.03),
+    "other": (0.80, 0.09, 0.08, 0.03),
+}
+
+# IWPC dosing equation coefficients (sqrt weekly dose scale).
+_IWPC_INTERCEPT = 5.6044
+_COEF_AGE_DECADE = -0.2614
+_COEF_HEIGHT_CM = 0.0087
+_COEF_WEIGHT_KG = 0.0128
+_COEF_VKORC1_AG = -0.8677
+_COEF_VKORC1_AA = -1.6974
+_COEF_ASIAN = -0.6752
+_COEF_BLACK = 0.4060
+_COEF_OTHER = 0.0443
+_COEF_ENZYME_INDUCER = 1.1816
+_COEF_AMIODARONE = -0.5503
+_COEF_CYP2C9 = {0: 0.0, 1: -0.5211, 2: -0.9357, 3: -1.0616}
+
+# Label thresholds on weekly dose in mg (the standard 3-class task).
+LOW_DOSE_MG = 21.0
+HIGH_DOSE_MG = 49.0
+
+# Discretisation grids for the continuous covariates.
+_AGE_DECADES = 8  # codes 0..7 for 10-19 .. 80+
+_HEIGHT_BINS = 4
+_WEIGHT_BINS = 4
+_HEIGHT_EDGES = (160.0, 170.0, 180.0)
+_WEIGHT_EDGES = (65.0, 80.0, 95.0)
+
+FEATURE_SPECS: Tuple[FeatureSpec, ...] = (
+    FeatureSpec("race", 4, public=True,
+                description="self-reported race (white/asian/black/other)"),
+    FeatureSpec("age_decade", _AGE_DECADES, public=True,
+                description="age bracket in decades (10-19 .. 80+)"),
+    FeatureSpec("height_bin", _HEIGHT_BINS, public=True,
+                description="height bracket (<160/160-170/170-180/>180 cm)"),
+    FeatureSpec("weight_bin", _WEIGHT_BINS,
+                description="weight bracket (<65/65-80/80-95/>95 kg)"),
+    FeatureSpec("amiodarone", 2,
+                description="amiodarone co-medication"),
+    FeatureSpec("enzyme_inducer", 2,
+                description="enzyme-inducer co-medication"),
+    FeatureSpec("smoker", 2,
+                description="current smoker"),
+    FeatureSpec("diabetes", 2,
+                description="diabetes comorbidity"),
+    FeatureSpec("aspirin", 2,
+                description="aspirin co-medication"),
+    FeatureSpec("gender", 2, public=True,
+                description="administrative sex"),
+    FeatureSpec("vkorc1", 3, sensitive=True,
+                description="VKORC1 -1639G>A genotype (GG/GA/AA)"),
+    FeatureSpec("cyp2c9", 4, sensitive=True,
+                description="CYP2C9 genotype (*1/*1, *1/*2, *1/*3, other)"),
+)
+
+
+def generate_warfarin(
+    n_samples: int = 4000, seed: int = 0, dose_noise: float = 0.25
+) -> Dataset:
+    """Generate an IWPC-like cohort (classification view).
+
+    Parameters
+    ----------
+    n_samples:
+        Cohort size.
+    seed:
+        Generator seed; the cohort is a deterministic function of it.
+    dose_noise:
+        Standard deviation of Gaussian noise added on the sqrt-dose
+        scale (captures unmodelled clinical variation).
+    """
+    dataset, _ = generate_warfarin_with_dose(n_samples, seed, dose_noise)
+    return dataset
+
+
+def generate_warfarin_with_dose(
+    n_samples: int = 4000, seed: int = 0, dose_noise: float = 0.25
+) -> Tuple[Dataset, np.ndarray]:
+    """Like :func:`generate_warfarin`, additionally returning the
+    continuous weekly dose (mg) per patient -- the regression target
+    the paper's dosing scenario is really about."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    rng = np.random.default_rng(seed)
+
+    race = rng.choice(len(RACES), size=n_samples, p=_RACE_PROBS)
+
+    # Genotypes: Hardy-Weinberg from race-specific allele frequencies.
+    vkorc1 = np.zeros(n_samples, dtype=np.int64)
+    cyp2c9 = np.zeros(n_samples, dtype=np.int64)
+    for code, race_name in enumerate(RACES):
+        mask = race == code
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        a_freq = _VKORC1_A_FREQ[race_name]
+        genotype_probs = (
+            (1 - a_freq) ** 2,
+            2 * a_freq * (1 - a_freq),
+            a_freq**2,
+        )
+        vkorc1[mask] = rng.choice(3, size=count, p=genotype_probs)
+        cyp2c9[mask] = rng.choice(4, size=count, p=_CYP2C9_PROBS[race_name])
+
+    # Demographics with mild race/age structure.
+    age_years = np.clip(rng.normal(62, 14, n_samples), 18, 89)
+    height_cm = np.clip(
+        rng.normal(170, 10, n_samples) - 4.0 * (race == RACES.index("asian")),
+        140,
+        205,
+    )
+    weight_kg = np.clip(
+        rng.normal(80, 16, n_samples)
+        - 7.0 * (race == RACES.index("asian"))
+        + 0.25 * (height_cm - 170),
+        40,
+        160,
+    )
+    gender = rng.integers(0, 2, n_samples)
+    height_cm += np.where(gender == 1, 6.0, -6.0)
+    weight_kg += np.where(gender == 1, 5.0, -5.0)
+
+    amiodarone = (rng.random(n_samples) < 0.12 + 0.002 * (age_years - 60)).astype(
+        np.int64
+    )
+    enzyme_inducer = (rng.random(n_samples) < 0.05).astype(np.int64)
+    smoker = (rng.random(n_samples) < np.where(age_years < 50, 0.25, 0.12)).astype(
+        np.int64
+    )
+    diabetes = (rng.random(n_samples) < 0.10 + 0.004 * (age_years - 50)).astype(
+        np.int64
+    )
+    aspirin = (rng.random(n_samples) < 0.30).astype(np.int64)
+
+    # IWPC dosing equation on the sqrt(mg/week) scale.
+    sqrt_dose = (
+        _IWPC_INTERCEPT
+        + _COEF_AGE_DECADE * (age_years // 10)
+        + _COEF_HEIGHT_CM * height_cm
+        + _COEF_WEIGHT_KG * weight_kg
+        + _COEF_VKORC1_AG * (vkorc1 == 1)
+        + _COEF_VKORC1_AA * (vkorc1 == 2)
+        + _COEF_ASIAN * (race == RACES.index("asian"))
+        + _COEF_BLACK * (race == RACES.index("black"))
+        + _COEF_OTHER * (race == RACES.index("other"))
+        + _COEF_ENZYME_INDUCER * enzyme_inducer
+        + _COEF_AMIODARONE * amiodarone
+        + np.vectorize(_COEF_CYP2C9.get)(cyp2c9)
+        + rng.normal(0, dose_noise, n_samples)
+    )
+    weekly_dose_mg = np.clip(sqrt_dose, 0.5, None) ** 2
+    label = np.where(
+        weekly_dose_mg < LOW_DOSE_MG, 0, np.where(weekly_dose_mg > HIGH_DOSE_MG, 2, 1)
+    ).astype(np.int64)
+
+    age_decade = np.clip(age_years // 10 - 1, 0, _AGE_DECADES - 1).astype(np.int64)
+    height_bin = np.searchsorted(_HEIGHT_EDGES, height_cm).astype(np.int64)
+    weight_bin = np.searchsorted(_WEIGHT_EDGES, weight_kg).astype(np.int64)
+
+    columns: Dict[str, np.ndarray] = {
+        "race": race,
+        "age_decade": age_decade,
+        "height_bin": height_bin,
+        "weight_bin": weight_bin,
+        "amiodarone": amiodarone,
+        "enzyme_inducer": enzyme_inducer,
+        "smoker": smoker,
+        "diabetes": diabetes,
+        "aspirin": aspirin,
+        "gender": gender,
+        "vkorc1": vkorc1,
+        "cyp2c9": cyp2c9,
+    }
+    matrix = np.column_stack([columns[spec.name] for spec in FEATURE_SPECS])
+    dataset = Dataset(
+        name="warfarin-like",
+        features=list(FEATURE_SPECS),
+        X=matrix,
+        y=label,
+        label_name="dose_bucket",
+    )
+    return dataset, weekly_dose_mg
+
+
+def dose_bucket_names() -> List[str]:
+    """Human-readable names of the three dose classes."""
+    return [
+        f"low (<{LOW_DOSE_MG:g} mg/wk)",
+        f"medium ({LOW_DOSE_MG:g}-{HIGH_DOSE_MG:g} mg/wk)",
+        f"high (>{HIGH_DOSE_MG:g} mg/wk)",
+    ]

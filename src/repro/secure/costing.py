@@ -1,0 +1,225 @@
+"""Analytic execution traces for the secure protocols.
+
+The disclosure optimizer evaluates thousands of candidate sets; running
+live crypto for each is impossible, so these builders reproduce each
+protocol's operation counts, traffic and rounds *analytically*. The
+formulas mirror the protocol implementations in :mod:`repro.smc`
+line-by-line; a test suite cross-checks them against live traces.
+
+Two terms are data-dependent and priced at their expectations:
+
+* the DGK comparison performs one extra homomorphic negation per
+  1-bit of the server's value (expected half the width), and
+* the encrypted comparison's server-side borrow reconstruction costs
+  one extra scalar multiplication when the server's random share is 1
+  (probability one half).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.smc.protocol import ExecutionTrace, Op
+
+
+@dataclass(frozen=True)
+class ProtocolSizes:
+    """Key-size parameters that determine ciphertext wire sizes."""
+
+    paillier_bits: int = 512
+    dgk_bits: int = 256
+    statistical_security_bits: int = 40
+
+    @property
+    def paillier_ct_bytes(self) -> int:
+        """A Paillier ciphertext is an element of ``Z_{n^2}``."""
+        return self.paillier_bits // 4
+
+    @property
+    def dgk_ct_bytes(self) -> int:
+        """A DGK ciphertext is an element of ``Z_n``."""
+        return self.dgk_bits // 8
+
+    @property
+    def blind_bytes(self) -> int:
+        """Approximate size of an additive blinding value on the wire."""
+        return (self.statistical_security_bits + 16) // 8 + 4
+
+
+def add_dgk_compare(trace: ExecutionTrace, bits: int, sizes: ProtocolSizes) -> None:
+    """Costs of :func:`repro.smc.comparison.dgk_compare` on ``bits``-bit
+    inputs (internal width is ``bits + 1`` after the doubling trick)."""
+    width = bits + 1
+    trace.count(Op.DGK_ENCRYPT, width + 1)       # client bits + server suffix seed
+    trace.count(Op.DGK_ADD, width // 2 + 3 * width)  # xor(E[w/2]) + suffix + c_i
+    trace.count(Op.DGK_SCALAR_MUL, 2 * width)
+    trace.count(Op.DGK_ZERO_TEST, width)
+    trace.bytes_client_to_server += width * sizes.dgk_ct_bytes + 4
+    trace.bytes_server_to_client += width * sizes.dgk_ct_bytes + 4
+    trace.messages += 2
+    trace.rounds += 2
+
+
+def _add_blind_and_split(trace: ExecutionTrace, sizes: ProtocolSizes) -> None:
+    """Shared head of both encrypted-comparison variants: blind, ship,
+    decrypt."""
+    trace.count(Op.PAILLIER_ADD)
+    trace.count(Op.PAILLIER_RERANDOMIZE)
+    trace.count(Op.PAILLIER_DECRYPT)
+    trace.bytes_server_to_client += sizes.paillier_ct_bytes
+    trace.messages += 1
+    trace.rounds += 1
+
+
+def add_compare_encrypted(
+    trace: ExecutionTrace, bits: int, sizes: ProtocolSizes
+) -> None:
+    """Costs of :func:`repro.smc.comparison.compare_encrypted`."""
+    _add_blind_and_split(trace, sizes)
+    add_dgk_compare(trace, bits, sizes)
+    trace.count(Op.PAILLIER_ENCRYPT, 2)           # d_high, borrow share
+    trace.bytes_client_to_server += 2 * sizes.paillier_ct_bytes + 4
+    trace.messages += 1
+    trace.rounds += 1
+    # Borrow reconstruction: linear flip with probability 1/2, then the
+    # two fixed subtractions.
+    trace.count(Op.PAILLIER_SCALAR_MUL, 1)        # expectation rounded up
+    trace.count(Op.PAILLIER_ADD, 3)
+
+
+def add_compare_encrypted_client_learns(
+    trace: ExecutionTrace, bits: int, sizes: ProtocolSizes
+) -> None:
+    """Costs of
+    :func:`repro.smc.comparison.compare_encrypted_client_learns`."""
+    _add_blind_and_split(trace, sizes)
+    add_dgk_compare(trace, bits, sizes)
+    trace.bytes_server_to_client += sizes.blind_bytes + 5
+    trace.messages += 1
+    trace.rounds += 1
+
+
+def add_compare_encrypted_batch(
+    trace: ExecutionTrace, count: int, bits: int, sizes: ProtocolSizes
+) -> None:
+    """Costs of :func:`repro.smc.comparison.compare_encrypted_many`:
+    per-instance operation counts, but a four-message transcript for
+    the whole batch."""
+    if count <= 0:
+        return
+    width = bits + 1
+    # Server blinding batch (1 message).
+    trace.count(Op.PAILLIER_ADD, count)
+    trace.count(Op.PAILLIER_RERANDOMIZE, count)
+    trace.bytes_server_to_client += count * sizes.paillier_ct_bytes + 4
+    trace.messages += 1
+    trace.rounds += 1
+    trace.count(Op.PAILLIER_DECRYPT, count)
+    # Batched DGK (2 messages).
+    trace.count(Op.DGK_ENCRYPT, count * (width + 1))
+    trace.count(Op.DGK_ADD, count * (width // 2 + 3 * width))
+    trace.count(Op.DGK_SCALAR_MUL, count * 2 * width)
+    trace.count(Op.DGK_ZERO_TEST, count * width)
+    trace.bytes_client_to_server += count * width * sizes.dgk_ct_bytes + 8
+    trace.bytes_server_to_client += count * width * sizes.dgk_ct_bytes + 8
+    trace.messages += 2
+    trace.rounds += 2
+    # Client correction batch (1 message) + server reconstruction.
+    trace.count(Op.PAILLIER_ENCRYPT, 2 * count)
+    trace.bytes_client_to_server += 2 * count * sizes.paillier_ct_bytes + 4
+    trace.messages += 1
+    trace.rounds += 1
+    trace.count(Op.PAILLIER_SCALAR_MUL, count)
+    trace.count(Op.PAILLIER_ADD, 3 * count)
+
+
+def add_sign_test(trace: ExecutionTrace, bits: int, sizes: ProtocolSizes) -> None:
+    """Costs of :func:`repro.smc.comparison.sign_test_client_learns`."""
+    trace.count(Op.PAILLIER_ADD)
+    add_compare_encrypted_client_learns(trace, bits, sizes)
+
+
+def add_secure_argmax(
+    trace: ExecutionTrace, candidates: int, bits: int, sizes: ProtocolSizes
+) -> None:
+    """Costs of :func:`repro.smc.argmax.secure_argmax` over
+    ``candidates`` encrypted values of ``bits`` bits."""
+    if candidates <= 1:
+        return
+    iterations = candidates - 1
+    for _ in range(iterations):
+        trace.count(Op.PAILLIER_ADD, 2)               # z = challenger - max + 2^l
+        add_compare_encrypted_client_learns(trace, bits, sizes)
+        trace.count(Op.PAILLIER_ADD, 2)               # blinding adds
+        trace.count(Op.PAILLIER_RERANDOMIZE, 2)       # blinded pair
+        # The blinded pair continues the comparison's final
+        # server-to-client run, so it costs a message but no new round.
+        trace.bytes_server_to_client += 2 * sizes.paillier_ct_bytes + 4
+        trace.messages += 1
+        trace.count(Op.PAILLIER_ENCRYPT, 1)           # encrypted bit
+        trace.count(Op.PAILLIER_RERANDOMIZE, 1)       # client refresh
+        trace.bytes_client_to_server += 2 * sizes.paillier_ct_bytes + 4
+        trace.messages += 1
+        trace.rounds += 1
+        trace.count(Op.PAILLIER_SCALAR_MUL, 1)        # un-blinding correction
+        trace.count(Op.PAILLIER_ADD, 2)
+    # Final OT over the inverse permutation table.
+    ot_bits = max(1, (candidates - 1).bit_length())
+    trace.count(Op.OT_TRANSFER_1OF2, ot_bits)
+    trace.bytes_server_to_client += candidates * 8 + 4
+    trace.messages += 1
+    trace.rounds += 1
+
+
+def add_encrypt_vector(
+    trace: ExecutionTrace, length: int, sizes: ProtocolSizes
+) -> None:
+    """Costs of the client encrypting and shipping ``length`` values."""
+    if length == 0:
+        return
+    trace.count(Op.PAILLIER_ENCRYPT, length)
+    trace.bytes_client_to_server += length * sizes.paillier_ct_bytes + 4
+    trace.messages += 1
+    trace.rounds += 1
+
+
+def add_dot_product(
+    trace: ExecutionTrace, nonzero_weights: int, sizes: ProtocolSizes
+) -> None:
+    """Server-side costs of one encrypted dot product (ciphertexts
+    already delivered)."""
+    trace.count(Op.PAILLIER_ENCRYPT, 1)               # offset accumulator
+    trace.count(Op.PAILLIER_SCALAR_MUL, nonzero_weights)
+    trace.count(Op.PAILLIER_ADD, nonzero_weights)
+
+
+def add_indicator_lookup(
+    trace: ExecutionTrace, domain_size: int, sizes: ProtocolSizes
+) -> None:
+    """Server-side costs of one indicator-vector table lookup."""
+    trace.count(Op.PAILLIER_ENCRYPT, 1)
+    trace.count(Op.PAILLIER_SCALAR_MUL, domain_size)
+    trace.count(Op.PAILLIER_ADD, domain_size)
+
+
+def add_leaf_selection(
+    trace: ExecutionTrace,
+    leaves: int,
+    internal_nodes: int,
+    mean_depth: float,
+    sizes: ProtocolSizes,
+) -> None:
+    """Costs of the decision tree's blinded leaf-selection round:
+    per-leaf path-cost accumulation, two blinded lists, client scan."""
+    # Path-cost sums: one homomorphic add per edge on each root-leaf path.
+    trace.count(Op.PAILLIER_ADD, int(round(leaves * mean_depth)))
+    # Per leaf: two blinding scalar-muls, one label add, rerandomise both.
+    trace.count(Op.PAILLIER_SCALAR_MUL, 2 * leaves)
+    trace.count(Op.PAILLIER_ADD, leaves)
+    trace.count(Op.PAILLIER_RERANDOMIZE, 2 * leaves)
+    trace.bytes_server_to_client += 2 * leaves * sizes.paillier_ct_bytes + 8
+    trace.messages += 1
+    trace.rounds += 1
+    # Client decrypts the cost list until the zero, then one label.
+    trace.count(Op.PAILLIER_DECRYPT, leaves + 1)

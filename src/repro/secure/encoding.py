@@ -1,0 +1,85 @@
+"""Fixed-point encoding of model parameters.
+
+Paillier and DGK work over integers, so model weights and log-
+probabilities are scaled by ``2^precision_bits`` and rounded once at
+model-export time. Both the secure path and the quantised plaintext
+reference (used by the accuracy-parity experiment E2) share the same
+encoder, which is what makes their outputs bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+DEFAULT_PRECISION_BITS = 10
+
+
+class EncodingError(Exception):
+    """Raised on invalid precision or out-of-range encodings."""
+
+
+class FixedPointEncoder:
+    """Scales floats to integers by ``2^precision_bits``.
+
+    Parameters
+    ----------
+    precision_bits:
+        Binary digits kept after the point. 10 bits keeps score
+        rankings intact for every model in the evaluation while keeping
+        comparison bit-lengths small (protocol cost is linear in them).
+    """
+
+    def __init__(self, precision_bits: int = DEFAULT_PRECISION_BITS) -> None:
+        if not 1 <= precision_bits <= 48:
+            raise EncodingError(
+                f"precision_bits must be in [1, 48], got {precision_bits}"
+            )
+        self.precision_bits = precision_bits
+        self.scale = 1 << precision_bits
+
+    def encode(self, value: float) -> int:
+        """Round one float to the fixed-point grid."""
+        if not np.isfinite(value):
+            raise EncodingError(f"cannot encode non-finite value {value!r}")
+        return int(round(float(value) * self.scale))
+
+    def encode_vector(self, values: Iterable[float]) -> List[int]:
+        """Encode a vector of floats."""
+        return [self.encode(v) for v in values]
+
+    def encode_matrix(self, values: np.ndarray) -> List[List[int]]:
+        """Encode a 2-d array row-wise."""
+        array = np.asarray(values, dtype=float)
+        if array.ndim != 2:
+            raise EncodingError(f"expected a 2-d array, got shape {array.shape}")
+        return [self.encode_vector(row) for row in array]
+
+    def decode(self, encoded: int) -> float:
+        """Back to float (testing/diagnostics)."""
+        return encoded / self.scale
+
+
+def magnitude_bits(values: Sequence[int]) -> int:
+    """Bits needed for the largest absolute value in ``values``."""
+    peak = max((abs(int(v)) for v in values), default=0)
+    return max(1, peak.bit_length())
+
+
+def score_bound(weight_rows: Sequence[Sequence[int]],
+                biases: Sequence[int],
+                max_feature_values: Sequence[int]) -> int:
+    """Upper bound on ``|w_c . x + b_c|`` over classes and inputs.
+
+    The secure comparison's bit-length parameter comes from this bound;
+    protocol cost is linear in it, so it is computed exactly rather
+    than padded.
+    """
+    bound = 0
+    for row, bias in zip(weight_rows, biases):
+        row_bound = abs(int(bias)) + sum(
+            abs(int(w)) * int(m) for w, m in zip(row, max_feature_values)
+        )
+        bound = max(bound, row_bound)
+    return max(bound, 1)

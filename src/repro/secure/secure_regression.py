@@ -1,0 +1,158 @@
+"""Secure linear regression with partial disclosure.
+
+The paper's service really predicts a *continuous* dose; this protocol
+serves it: the client encrypts hidden feature values, the server folds
+in its (fixed-point) weight vector plus the plaintext contribution of
+disclosed features, re-randomises and returns a single ciphertext; the
+client decrypts and de-scales. The protocol's *output* is the dose --
+the very value the Fredrikson attack exploits -- which is why the
+pipeline treats model output as a disclosure of its own (see
+:mod:`repro.privacy.inversion`).
+
+Costs: one Paillier encryption per hidden feature on the client, one
+scalar multiplication per hidden feature on the server, two rounds.
+Disclosing everything degenerates to the server answering in plaintext.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.classifiers.regression import RidgeRegression
+from repro.secure.base import SecureClassificationError, SecureClassifier
+from repro.secure.costing import (
+    ProtocolSizes,
+    add_dot_product,
+    add_encrypt_vector,
+)
+from repro.secure.encoding import FixedPointEncoder
+from repro.smc.context import TwoPartyContext
+from repro.smc.dotproduct import encrypt_feature_vector, encrypted_dot_product
+from repro.smc.protocol import ExecutionTrace
+
+
+class SecureRegression(SecureClassifier):
+    """Two-party evaluation of a fitted ridge regression.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`RidgeRegression`.
+    features:
+        Schema of the feature columns.
+    encoder:
+        Fixed-point encoder; the returned dose is exact on its grid.
+    sizes:
+        Key sizes for analytic traffic estimates.
+    """
+
+    def __init__(
+        self,
+        model: RidgeRegression,
+        features,
+        encoder: FixedPointEncoder = FixedPointEncoder(),
+        sizes: ProtocolSizes = ProtocolSizes(),
+    ) -> None:
+        super().__init__(features, sizes)
+        if model.n_features != self.n_features:
+            raise SecureClassificationError(
+                f"model has {model.n_features} features, schema has "
+                f"{self.n_features}"
+            )
+        self.model = model
+        self.encoder = encoder
+        self.int_weights: List[int] = encoder.encode_vector(model.weights)
+        self.int_intercept: int = encoder.encode(model.intercept)
+
+    # -- plaintext reference -------------------------------------------------
+
+    def quantized_prediction(self, row: np.ndarray) -> float:
+        """The fixed-point dose the protocol computes."""
+        row = self.validate_row(row)
+        score = self.int_intercept + sum(
+            w * int(x) for w, x in zip(self.int_weights, row)
+        )
+        return self.encoder.decode(score)
+
+    # -- live protocol --------------------------------------------------------
+
+    def classify(
+        self,
+        ctx: TwoPartyContext,
+        row: np.ndarray,
+        disclosure_set: Iterable[int] = (),
+    ) -> int:
+        """Protocol entry point (integer fixed-point output).
+
+        Prefer :meth:`predict_secure`, which de-scales to a float; this
+        method exists to satisfy the :class:`SecureClassifier`
+        interface and returns the raw fixed-point integer.
+        """
+        return self._secure_score(ctx, row, disclosure_set)
+
+    def predict_secure(
+        self,
+        ctx: TwoPartyContext,
+        row: np.ndarray,
+        disclosure_set: Iterable[int] = (),
+    ) -> float:
+        """Run the live protocol; the client learns the dose."""
+        return self.encoder.decode(self._secure_score(ctx, row, disclosure_set))
+
+    def _secure_score(
+        self, ctx: TwoPartyContext, row: np.ndarray, disclosure_set
+    ) -> int:
+        row = self.validate_row(row)
+        disclosed, hidden = self.partition(disclosure_set)
+        ctx.channel.reset_direction()
+
+        if disclosed:
+            ctx.channel.client_sends([int(row[i]) for i in disclosed])
+        offset = self.int_intercept + sum(
+            self.int_weights[i] * int(row[i]) for i in disclosed
+        )
+
+        if not hidden:
+            # Fully disclosed: plaintext answer, one message.
+            return int(ctx.channel.server_sends(offset))
+
+        encrypted_hidden = encrypt_feature_vector(
+            ctx, [int(row[i]) for i in hidden]
+        )
+        score = encrypted_dot_product(
+            ctx,
+            encrypted_hidden,
+            [self.int_weights[i] for i in hidden],
+            plaintext_offset=offset,
+        )
+        ctx.channel.reset_direction()
+        delivered = ctx.channel.server_sends(ctx.rerandomize(score))
+        return ctx.client_decrypt(delivered)
+
+    # -- analytic cost ----------------------------------------------------------
+
+    def estimated_trace(self, disclosure_set: Iterable[int] = ()) -> ExecutionTrace:
+        disclosed, hidden = self.partition(disclosure_set)
+        trace = ExecutionTrace(label=f"regression|hidden={len(hidden)}")
+        if disclosed:
+            trace.bytes_client_to_server += 4 + 5 * len(disclosed)
+            trace.messages += 1
+            trace.rounds += 1
+        if not hidden:
+            trace.bytes_server_to_client += 8
+            trace.messages += 1
+            trace.rounds += 1
+            return trace
+        add_encrypt_vector(trace, len(hidden), self.sizes)
+        nonzero = sum(1 for i in hidden if self.int_weights[i] != 0)
+        add_dot_product(trace, nonzero, self.sizes)
+        from repro.smc.protocol import Op
+
+        trace.count(Op.PAILLIER_RERANDOMIZE)
+        trace.count(Op.PAILLIER_DECRYPT)
+        trace.bytes_server_to_client += self.sizes.paillier_ct_bytes
+        trace.messages += 1
+        trace.rounds += 1
+        return trace

@@ -1,0 +1,123 @@
+"""The dual disclosure problem: meet a latency target, leak the least.
+
+The primal problem minimises SMC cost under a privacy budget; service
+operators often face the reverse constraint -- a per-query latency SLA
+-- and want the *least* disclosure that meets it::
+
+    minimise    risk(S)
+    subject to  cost(S) <= cost_budget
+
+:func:`solve_dual_greedy` adds features in order of cost-saving per
+unit risk (cheapest privacy first) until the cost target is met;
+:func:`solve_dual_exhaustive` is the exact reference for small
+instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import List, Optional, Tuple
+
+from repro.selection.exhaustive import MAX_EXHAUSTIVE_CANDIDATES
+from repro.selection.problem import (
+    DisclosureProblem,
+    DisclosureSolution,
+    SelectionError,
+    finalize_solution,
+)
+
+
+def solve_dual_greedy(
+    problem: DisclosureProblem, cost_budget: float
+) -> DisclosureSolution:
+    """Greedy: disclose the cheapest-risk cost savers until the SLA holds.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`DisclosureProblem`; its ``risk_budget`` is ignored
+        (risk is the objective here, not a constraint).
+    cost_budget:
+        Maximum acceptable ``cost(S)``.
+
+    Raises :class:`SelectionError` when even full disclosure cannot meet
+    the cost budget.
+    """
+    started = time.perf_counter()
+    if problem.evaluate_cost(problem.candidates) > cost_budget + 1e-12:
+        raise SelectionError(
+            f"cost budget {cost_budget} unreachable: full disclosure "
+            f"still costs {problem.evaluate_cost(problem.candidates):.6f}"
+        )
+
+    chosen: List[int] = []
+    remaining = list(problem.candidates)
+    current_cost = problem.evaluate_cost(chosen)
+    current_risk = problem.evaluate_risk(chosen)
+    nodes = 0
+
+    while current_cost > cost_budget + 1e-12 and remaining:
+        best_candidate: Optional[int] = None
+        best_ratio = -1.0
+        for candidate in remaining:
+            nodes += 1
+            trial = chosen + [candidate]
+            saving = current_cost - problem.evaluate_cost(trial)
+            if saving <= 0:
+                continue
+            marginal_risk = max(
+                problem.evaluate_risk(trial) - current_risk, 1e-9
+            )
+            ratio = saving / marginal_risk
+            if ratio > best_ratio:
+                best_candidate, best_ratio = candidate, ratio
+        if best_candidate is None:
+            raise SelectionError(
+                "no remaining candidate reduces cost; budget unreachable "
+                "from this state"
+            )
+        chosen.append(best_candidate)
+        remaining.remove(best_candidate)
+        current_cost = problem.evaluate_cost(chosen)
+        current_risk = problem.evaluate_risk(chosen)
+
+    # Backward pass: drop any feature whose removal keeps the SLA --
+    # greedy may have overshot with a high-risk saver.
+    for candidate in sorted(
+        chosen, key=lambda f: problem.evaluate_risk([f]), reverse=True
+    ):
+        nodes += 1
+        without = [f for f in chosen if f != candidate]
+        if problem.evaluate_cost(without) <= cost_budget + 1e-12:
+            chosen = without
+
+    return finalize_solution(problem, chosen, "dual-greedy", started, nodes)
+
+
+def solve_dual_exhaustive(
+    problem: DisclosureProblem, cost_budget: float
+) -> DisclosureSolution:
+    """Exact dual solver by enumeration (reference for small instances)."""
+    candidates = problem.candidates
+    if len(candidates) > MAX_EXHAUSTIVE_CANDIDATES:
+        raise SelectionError(
+            f"{len(candidates)} candidates exceed the exhaustive limit"
+        )
+    started = time.perf_counter()
+    best: Optional[Tuple[float, float, Tuple[int, ...]]] = None
+    nodes = 0
+    for size in range(len(candidates) + 1):
+        for subset in itertools.combinations(candidates, size):
+            nodes += 1
+            if problem.evaluate_cost(subset) > cost_budget + 1e-12:
+                continue
+            risk = problem.evaluate_risk(subset)
+            key = (risk, float(len(subset)), subset)
+            if best is None or key < best:
+                best = key
+    if best is None:
+        raise SelectionError(
+            f"cost budget {cost_budget} unreachable even with full disclosure"
+        )
+    return finalize_solution(problem, best[2], "dual-exhaustive", started, nodes)

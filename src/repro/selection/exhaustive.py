@@ -1,0 +1,58 @@
+"""Exhaustive disclosure-set search (exact reference solver).
+
+Enumerates every subset of the candidate features, so it is only usable
+up to roughly 20 candidates, but it defines ground truth for the
+optimizer-quality experiments (E6): greedy and branch-and-bound are
+scored against its optimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Optional, Tuple
+
+from repro.selection.problem import (
+    DisclosureProblem,
+    DisclosureSolution,
+    SelectionError,
+    finalize_solution,
+)
+
+MAX_EXHAUSTIVE_CANDIDATES = 22
+
+
+def solve_exhaustive(problem: DisclosureProblem) -> DisclosureSolution:
+    """Enumerate all subsets; return the feasible one with minimum cost.
+
+    Ties on cost break toward lower risk, then smaller sets. Raises
+    :class:`SelectionError` when the candidate count makes enumeration
+    unreasonable.
+    """
+    candidates = problem.candidates
+    if len(candidates) > MAX_EXHAUSTIVE_CANDIDATES:
+        raise SelectionError(
+            f"{len(candidates)} candidates exceed the exhaustive solver's "
+            f"limit of {MAX_EXHAUSTIVE_CANDIDATES}; use greedy or "
+            f"branch-and-bound"
+        )
+
+    started = time.perf_counter()
+    best: Optional[Tuple[float, float, int, Tuple[int, ...]]] = None
+    nodes = 0
+    for size in range(len(candidates) + 1):
+        for subset in itertools.combinations(candidates, size):
+            nodes += 1
+            risk = problem.evaluate_risk(subset)
+            if risk > problem.risk_budget + 1e-12:
+                continue
+            cost = problem.evaluate_cost(subset)
+            key = (cost, risk, len(subset), subset)
+            if best is None or key < best:
+                best = key
+    if best is None:  # even the empty set exceeded the budget
+        raise SelectionError(
+            "no feasible disclosure set: the empty set already exceeds "
+            f"the privacy budget {problem.risk_budget}"
+        )
+    return finalize_solution(problem, best[3], "exhaustive", started, nodes)

@@ -1,0 +1,124 @@
+"""Lazy greedy disclosure selection (the paper's practical solver).
+
+At each step, among candidates that keep the set within the privacy
+budget, add the one with the best *benefit ratio* -- cost saving per
+unit of additional risk. The risk side has diminishing returns (each
+disclosure teaches the adversary less once much is known), so CELF-style
+lazy evaluation applies: cached ratios are upper bounds, and a candidate
+is only re-evaluated when it reaches the top of the priority queue.
+
+Complexity: close to ``O(k)`` full evaluations per *accepted* feature
+instead of ``O(k)`` per considered feature; experiment E8 quantifies the
+gap at high dimension.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import List, Tuple
+
+from repro.selection.problem import (
+    DisclosureProblem,
+    DisclosureSolution,
+    finalize_solution,
+)
+
+_RISK_EPSILON = 1e-9
+
+
+def solve_greedy(
+    problem: DisclosureProblem, lazy: bool = True
+) -> DisclosureSolution:
+    """Greedy selection by cost-saving per unit risk.
+
+    Parameters
+    ----------
+    problem:
+        The disclosure problem.
+    lazy:
+        Use CELF-style lazy re-evaluation (default). With ``False``
+        every remaining candidate is re-scored each round -- the eager
+        baseline the E8 benchmark compares against. Both modes accept
+        the same features whenever the benefit ratio is submodular-like
+        (non-increasing as the set grows).
+    """
+    started = time.perf_counter()
+    chosen: List[int] = []
+    current_cost = problem.evaluate_cost(chosen)
+    current_risk = problem.evaluate_risk(chosen)
+    nodes = 0
+
+    if lazy:
+        # Entries are (-ratio, candidate, stamp); a stamp equal to the
+        # current set size means the ratio is fresh and can be committed.
+        heap: List[Tuple[float, int, int]] = []
+        for candidate in problem.candidates:
+            ratio, feasible = _score(
+                problem, chosen, candidate, current_cost, current_risk
+            )
+            nodes += 1
+            if feasible and ratio > 0:
+                heapq.heappush(heap, (-ratio, candidate, len(chosen)))
+        while heap:
+            neg_ratio, candidate, stamp = heapq.heappop(heap)
+            if stamp != len(chosen):
+                ratio, feasible = _score(
+                    problem, chosen, candidate, current_cost, current_risk
+                )
+                nodes += 1
+                if feasible and ratio > 0:
+                    heapq.heappush(heap, (-ratio, candidate, len(chosen)))
+                continue
+            # Fresh top entry: commit it.
+            trial = chosen + [candidate]
+            current_risk = problem.evaluate_risk(trial)
+            current_cost = problem.evaluate_cost(trial)
+            chosen.append(candidate)
+        return finalize_solution(problem, chosen, "greedy-lazy", started, nodes)
+
+    # Eager mode: full re-scoring of every remaining candidate per round.
+    remaining = list(problem.candidates)
+    while remaining:
+        best_candidate = None
+        best_ratio = 0.0
+        for candidate in remaining:
+            ratio, feasible = _score(
+                problem, chosen, candidate, current_cost, current_risk
+            )
+            nodes += 1
+            if feasible and ratio > best_ratio:
+                best_candidate, best_ratio = candidate, ratio
+        if best_candidate is None:
+            break
+        trial = chosen + [best_candidate]
+        current_risk = problem.evaluate_risk(trial)
+        current_cost = problem.evaluate_cost(trial)
+        chosen.append(best_candidate)
+        remaining.remove(best_candidate)
+    return finalize_solution(problem, chosen, "greedy-eager", started, nodes)
+
+
+def _score(
+    problem: DisclosureProblem,
+    chosen: List[int],
+    candidate: int,
+    current_cost: float,
+    current_risk: float,
+) -> Tuple[float, bool]:
+    """Benefit ratio of adding ``candidate`` to ``chosen``.
+
+    Returns ``(ratio, feasible)``; infeasible candidates (budget
+    exceeded) report ``(-inf, False)``, candidates with no cost saving
+    report ``(0.0, True)`` and are never committed.
+    """
+    trial = chosen + [candidate]
+    risk = problem.evaluate_risk(trial)
+    if risk > problem.risk_budget + 1e-12:
+        return float("-inf"), False
+    cost = problem.evaluate_cost(trial)
+    saving = current_cost - cost
+    if saving <= 0:
+        return 0.0, True
+    marginal_risk = max(risk - current_risk, _RISK_EPSILON)
+    return saving / marginal_risk, True

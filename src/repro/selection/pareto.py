@@ -1,0 +1,62 @@
+"""Risk/performance trade-off frontiers.
+
+The paper's headline figure is a trade-off curve: as the privacy budget
+grows, the optimizer discloses more and the secure-evaluation cost
+drops -- by up to three orders of magnitude. This module sweeps budgets
+with a chosen solver and prunes the results to the Pareto-optimal
+(risk, cost) points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Sequence
+
+from repro.selection.greedy import solve_greedy
+from repro.selection.problem import DisclosureProblem, DisclosureSolution
+
+Solver = Callable[[DisclosureProblem], DisclosureSolution]
+
+
+def pareto_frontier(
+    problem: DisclosureProblem,
+    budgets: Sequence[float],
+    solver: Solver = solve_greedy,
+) -> List[DisclosureSolution]:
+    """Solve the problem at each budget and return Pareto-optimal points.
+
+    Parameters
+    ----------
+    problem:
+        Template problem; its ``risk_budget`` is overridden per sweep
+        point.
+    budgets:
+        Privacy budgets to sweep (any order; output is sorted by risk).
+    solver:
+        Which solver to run per budget (greedy by default; use
+        :func:`~repro.selection.branch_and_bound.solve_branch_and_bound`
+        for exact frontiers on small problems).
+    """
+    solutions: List[DisclosureSolution] = []
+    for budget in budgets:
+        instance = replace(problem, risk_budget=float(budget))
+        solutions.append(solver(instance))
+    return prune_to_pareto(solutions)
+
+
+def prune_to_pareto(
+    solutions: Sequence[DisclosureSolution],
+) -> List[DisclosureSolution]:
+    """Keep only non-dominated ``(risk, cost)`` points, sorted by risk.
+
+    A point dominates another when it is no worse on both axes and
+    strictly better on at least one.
+    """
+    ordered = sorted(solutions, key=lambda s: (s.risk, s.cost))
+    frontier: List[DisclosureSolution] = []
+    best_cost = float("inf")
+    for solution in ordered:
+        if solution.cost < best_cost - 1e-15:
+            frontier.append(solution)
+            best_cost = solution.cost
+    return frontier

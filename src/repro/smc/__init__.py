@@ -1,0 +1,33 @@
+"""Two-party secure-computation runtime and protocol building blocks.
+
+This package is the SMC substrate the secure classifiers run on:
+
+* :mod:`repro.smc.network` -- an in-process message channel that accounts
+  for every byte and communication round, plus latency/bandwidth network
+  profiles (LAN / WAN / loopback).
+* :mod:`repro.smc.protocol` -- execution traces: operation counters,
+  transfer statistics and wall-clock timing shared by all protocols.
+* :mod:`repro.smc.comparison` -- the DGK private-input comparison and the
+  Veugen/Bost encrypted-value comparison built on it.
+* :mod:`repro.smc.argmax` -- Bost-style encrypted argmax with a blinded
+  refresh step and an OT-based permutation reveal.
+* :mod:`repro.smc.dotproduct` -- Paillier encrypted dot products.
+* :mod:`repro.smc.lookup` -- private table lookup via encrypted indicator
+  vectors and via 1-out-of-n OT.
+* :mod:`repro.smc.arithmetic` -- additive-share arithmetic with Beaver
+  triples (used for share-based variants and tests).
+* :mod:`repro.smc.cost_model` -- the analytic cost model that converts an
+  execution trace into estimated seconds under a hardware/network
+  profile (production key sizes, LAN/WAN links).
+"""
+
+from repro.smc.network import Channel, NetworkModel, NetworkProfile
+from repro.smc.protocol import ExecutionTrace, Op
+
+__all__ = [
+    "Channel",
+    "ExecutionTrace",
+    "NetworkModel",
+    "NetworkProfile",
+    "Op",
+]

@@ -1,0 +1,126 @@
+"""Shared state for a two-party secure computation session.
+
+A :class:`TwoPartyContext` bundles everything a protocol invocation
+needs: the accounted channel, the client's key material (the *client* is
+the data owner and holds all private keys, exactly as in Bost et al.),
+independent randomness streams for each party, and the statistical
+security parameter used for additive blinding.
+
+Protocols take a context instead of loose arguments so that composed
+executions (dot product, then comparison, then argmax) accumulate into a
+single :class:`~repro.smc.protocol.ExecutionTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.dgk import DgkKeyPair
+from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
+from repro.crypto.rand import DeterministicRandom, fresh_rng
+from repro.smc.network import Channel
+from repro.smc.protocol import ExecutionTrace, Op
+
+DEFAULT_STATISTICAL_SECURITY_BITS = 40
+
+
+@dataclass
+class TwoPartyContext:
+    """Keys, randomness and accounting for one client/server session.
+
+    Attributes
+    ----------
+    channel:
+        The accounted message channel; its trace is the session trace.
+    paillier:
+        The client's Paillier key pair. The server only ever uses
+        ``paillier.public_key``.
+    dgk:
+        The client's DGK key pair for the bitwise comparison subprotocol.
+    client_rng / server_rng:
+        Independent randomness streams so one party's draws cannot
+        perturb the other's (important for reproducible transcripts).
+    statistical_security_bits:
+        Width of additive blinding noise (``kappa``); blinded values are
+        statistically indistinguishable from uniform up to ``2^-kappa``.
+    """
+
+    channel: Channel
+    paillier: PaillierKeyPair
+    dgk: DgkKeyPair
+    client_rng: DeterministicRandom
+    server_rng: DeterministicRandom
+    statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        """The session's execution trace (owned by the channel)."""
+        return self.channel.trace
+
+    # -- counted cryptographic helpers ---------------------------------
+
+    def client_encrypt(self, value: int) -> PaillierCiphertext:
+        """Client-side Paillier encryption, counted in the trace."""
+        self.trace.count(Op.PAILLIER_ENCRYPT)
+        return self.paillier.public_key.encrypt(value, rng=self.client_rng)
+
+    def server_encrypt(self, value: int) -> PaillierCiphertext:
+        """Server-side Paillier encryption under the client's key."""
+        self.trace.count(Op.PAILLIER_ENCRYPT)
+        return self.paillier.public_key.encrypt(value, rng=self.server_rng)
+
+    def client_decrypt(self, ciphertext: PaillierCiphertext) -> int:
+        """Client-side Paillier decryption, counted in the trace."""
+        self.trace.count(Op.PAILLIER_DECRYPT)
+        return self.paillier.private_key.decrypt(ciphertext)
+
+    def add(self, a: PaillierCiphertext, b) -> PaillierCiphertext:
+        """Homomorphic addition (ciphertext or plaintext), counted."""
+        self.trace.count(Op.PAILLIER_ADD)
+        return a + b
+
+    def scalar_mul(self, a: PaillierCiphertext, scalar: int) -> PaillierCiphertext:
+        """Homomorphic scalar multiplication, counted."""
+        self.trace.count(Op.PAILLIER_SCALAR_MUL)
+        return a * scalar
+
+    def rerandomize(self, a: PaillierCiphertext, rng=None) -> PaillierCiphertext:
+        """Ciphertext re-randomisation, counted."""
+        self.trace.count(Op.PAILLIER_RERANDOMIZE)
+        return a.rerandomize(rng=rng or self.server_rng)
+
+    def blinding_noise(self, payload_bits: int, rng=None) -> int:
+        """Draw additive blinding noise covering ``payload_bits`` plus
+        the statistical security margin."""
+        rng = rng or self.server_rng
+        return rng.getrandbits(payload_bits + self.statistical_security_bits)
+
+
+def make_context(
+    seed: int = 0,
+    paillier_bits: int = 512,
+    dgk_bits: int = 256,
+    dgk_plaintext_bits: int = 16,
+    statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS,
+    channel: Optional[Channel] = None,
+) -> TwoPartyContext:
+    """Build a ready-to-use session context with freshly generated keys.
+
+    The single ``seed`` deterministically derives the key material and
+    both parties' randomness streams, so a whole protocol transcript is
+    reproducible from one integer.
+    """
+    master = fresh_rng(seed)
+    paillier = PaillierKeyPair.generate(key_bits=paillier_bits, rng=master)
+    dgk = DgkKeyPair.generate(
+        key_bits=dgk_bits, plaintext_bits=dgk_plaintext_bits, rng=master
+    )
+    return TwoPartyContext(
+        channel=channel or Channel(),
+        paillier=paillier,
+        dgk=dgk,
+        client_rng=master.fork(),
+        server_rng=master.fork(),
+        statistical_security_bits=statistical_security_bits,
+    )

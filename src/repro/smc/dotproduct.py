@@ -1,0 +1,92 @@
+"""Encrypted dot products for the hyperplane classifier.
+
+The client encrypts its *hidden* feature values under Paillier; the
+server folds in its weight vector homomorphically and adds the plaintext
+contribution of any disclosed features for free. The output is a
+server-held encryption of the full score -- ready for the sign test or
+argmax.
+
+This module is where the paper's disclosure optimization pays off for
+linear models: each hidden feature costs one client encryption, one
+ciphertext transfer and one server scalar multiplication, while each
+disclosed feature costs one plaintext multiply-add.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.paillier import PaillierCiphertext
+from repro.smc.context import TwoPartyContext
+from repro.smc.protocol import Op
+
+
+class DotProductError(Exception):
+    """Raised on shape mismatches in the encrypted dot product."""
+
+
+def encrypt_feature_vector(
+    ctx: TwoPartyContext, values: Sequence[int]
+) -> List[PaillierCiphertext]:
+    """Client-side: encrypt hidden feature values and send them.
+
+    Returns the ciphertext list as received by the server.
+    """
+    ciphertexts = [ctx.client_encrypt(v) for v in values]
+    if not ciphertexts:
+        return []
+    ctx.channel.reset_direction()
+    return ctx.channel.client_sends(ciphertexts)
+
+
+def encrypted_dot_product(
+    ctx: TwoPartyContext,
+    encrypted_values: Sequence[PaillierCiphertext],
+    weights: Sequence[int],
+    plaintext_offset: int = 0,
+) -> PaillierCiphertext:
+    """Server-side: compute ``[sum_i w_i * x_i + offset]``.
+
+    Parameters
+    ----------
+    encrypted_values:
+        Ciphertexts of the hidden features (client-encrypted).
+    weights:
+        The server's integer (fixed-point) weights, one per ciphertext.
+    plaintext_offset:
+        The already-known part of the score: bias plus the disclosed
+        features' contribution, computed in the clear at zero crypto
+        cost.
+    """
+    if len(encrypted_values) != len(weights):
+        raise DotProductError(
+            f"{len(encrypted_values)} ciphertexts vs {len(weights)} weights"
+        )
+    accumulator = ctx.server_encrypt(plaintext_offset)
+    for ciphertext, weight in zip(encrypted_values, weights):
+        if weight == 0:
+            continue
+        term = ctx.scalar_mul(ciphertext, weight)
+        accumulator = ctx.add(accumulator, term)
+    return accumulator
+
+
+def batched_encrypted_dot_products(
+    ctx: TwoPartyContext,
+    encrypted_values: Sequence[PaillierCiphertext],
+    weight_rows: Sequence[Sequence[int]],
+    plaintext_offsets: Sequence[int],
+) -> List[PaillierCiphertext]:
+    """Server-side: one encrypted score per weight row (multi-class).
+
+    The client's ciphertexts are reused across rows, so the client-side
+    cost is paid once regardless of the number of classes.
+    """
+    if len(weight_rows) != len(plaintext_offsets):
+        raise DotProductError(
+            f"{len(weight_rows)} weight rows vs {len(plaintext_offsets)} offsets"
+        )
+    return [
+        encrypted_dot_product(ctx, encrypted_values, row, offset)
+        for row, offset in zip(weight_rows, plaintext_offsets)
+    ]

@@ -1,0 +1,106 @@
+"""Private table lookup for discrete features.
+
+The secure naive-Bayes protocol must add ``log P(x_f = v | c)`` to each
+class score without the server learning ``v`` and without the client
+learning the table. Two standard constructions are provided:
+
+* **Indicator vectors** (:func:`indicator_lookup`): the client sends one
+  Paillier encryption per domain value -- a 0/1 indicator of its actual
+  value -- and the server takes the inner product with its (plaintext)
+  table column. Constant rounds; cost scales with the domain size. This
+  is the construction whose per-feature cost the disclosure optimizer
+  removes when a feature is revealed.
+
+* **1-out-of-n OT** (:func:`ot_lookup_shares`): the parties end with
+  additive shares of the table entry. Useful when the table is held as
+  integers and the output must remain hidden from both sides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.ot import one_of_n_transfer
+from repro.crypto.paillier import PaillierCiphertext
+from repro.smc.context import TwoPartyContext
+from repro.smc.protocol import Op
+
+_OT_VALUE_BYTES = 16
+
+
+class LookupError_(Exception):
+    """Raised on invalid lookup inputs (domain mismatch, bad index)."""
+
+
+def encrypt_indicator_vector(
+    ctx: TwoPartyContext, value_index: int, domain_size: int
+) -> List[PaillierCiphertext]:
+    """Client-side: encrypt the one-hot indicator of ``value_index`` and
+    send it to the server."""
+    if not 0 <= value_index < domain_size:
+        raise LookupError_(
+            f"value index {value_index} outside domain of size {domain_size}"
+        )
+    indicators = [
+        ctx.client_encrypt(1 if j == value_index else 0)
+        for j in range(domain_size)
+    ]
+    ctx.channel.reset_direction()
+    return ctx.channel.client_sends(indicators)
+
+
+def indicator_lookup(
+    ctx: TwoPartyContext,
+    encrypted_indicators: Sequence[PaillierCiphertext],
+    table_column: Sequence[int],
+) -> PaillierCiphertext:
+    """Server-side: ``[table_column[v]]`` from the client's encrypted
+    one-hot vector, as the homomorphic inner product."""
+    if len(encrypted_indicators) != len(table_column):
+        raise LookupError_(
+            f"{len(encrypted_indicators)} indicators vs "
+            f"{len(table_column)} table entries"
+        )
+    accumulator = ctx.server_encrypt(0)
+    for indicator, entry in zip(encrypted_indicators, table_column):
+        if entry == 0:
+            continue
+        term = ctx.scalar_mul(indicator, entry)
+        accumulator = ctx.add(accumulator, term)
+    return accumulator
+
+
+def ot_lookup_shares(
+    ctx: TwoPartyContext,
+    table: Sequence[int],
+    client_index: int,
+    share_bits: int = 64,
+) -> tuple:
+    """Additively share ``table[client_index]`` between the parties.
+
+    The server masks every entry with one fresh random value ``r`` (its
+    share is ``-r``); the client obtains its masked entry through
+    1-out-of-n OT. Returns ``(client_share, server_share)`` with
+    ``client_share + server_share == table[client_index]`` over the
+    integers-mod-``2^share_bits`` ring.
+    """
+    if not 0 <= client_index < len(table):
+        raise LookupError_(
+            f"index {client_index} outside table of size {len(table)}"
+        )
+    modulus = 1 << share_bits
+    mask = ctx.server_rng.randbelow(modulus)
+    masked_entries = [
+        ((entry + mask) % modulus).to_bytes(_OT_VALUE_BYTES, "big")
+        for entry in table
+    ]
+    bits = max(1, (len(table) - 1).bit_length())
+    ctx.trace.count(Op.OT_TRANSFER_1OF2, bits)
+    ctx.channel.reset_direction()
+    ctx.channel.server_sends(masked_entries)
+    chosen = one_of_n_transfer(
+        masked_entries, client_index, rng=ctx.client_rng, key_bits=256
+    )
+    client_share = int.from_bytes(chosen, "big") % modulus
+    server_share = (-mask) % modulus
+    return client_share, server_share

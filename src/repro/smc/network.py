@@ -1,0 +1,168 @@
+"""Simulated two-party network with byte and round accounting.
+
+Protocols in this library run in-process, but every logical wire
+crossing goes through a :class:`Channel`, which
+
+* measures the serialized size of each payload,
+* counts messages, and
+* counts *rounds* -- maximal runs of messages flowing in one direction,
+  the quantity that multiplies network latency in the cost model.
+
+:class:`NetworkModel` then prices a transcript under a latency/bandwidth
+profile. Three standard profiles mirror the setups secure-classification
+papers evaluate on: loopback, LAN and WAN.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.smc.protocol import ExecutionTrace
+
+
+class ChannelError(Exception):
+    """Raised on malformed channel usage (unknown direction, bad payload)."""
+
+
+class Direction(enum.Enum):
+    """Who is sending the current message."""
+
+    CLIENT_TO_SERVER = "client->server"
+    SERVER_TO_CLIENT = "server->client"
+
+
+def wire_size(payload: Any) -> int:
+    """Serialized size of a payload in bytes.
+
+    Supported payloads: ints (minimal big-endian length plus a 4-byte
+    length prefix), bytes, strings, ``None`` (protocol signals), objects
+    exposing ``serialized_size_bytes()`` (all ciphertexts and OT
+    parameters), and lists/tuples/dicts of the above.
+    """
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return 4 + (payload.bit_length() + 7) // 8
+    if isinstance(payload, bytes):
+        return 4 + len(payload)
+    if isinstance(payload, str):
+        return 4 + len(payload.encode("utf-8"))
+    if isinstance(payload, float):
+        return 8
+    if hasattr(payload, "serialized_size_bytes"):
+        return payload.serialized_size_bytes()
+    if isinstance(payload, (list, tuple)):
+        return 4 + sum(wire_size(item) for item in payload)
+    if isinstance(payload, dict):
+        return 4 + sum(wire_size(k) + wire_size(v) for k, v in payload.items())
+    raise ChannelError(f"cannot size payload of type {type(payload).__name__}")
+
+
+@dataclass
+class Channel:
+    """An accounted bidirectional link between client and server.
+
+    Protocols call :meth:`send` at every logical wire crossing; the
+    payload is returned unchanged (the simulator shares one address
+    space) after its size has been charged to the attached trace.
+    """
+
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    _last_direction: Optional[Direction] = None
+
+    def send(self, direction: Direction, payload: Any) -> Any:
+        """Record a message and hand the payload to the other party."""
+        size = wire_size(payload)
+        if direction is Direction.CLIENT_TO_SERVER:
+            self.trace.bytes_client_to_server += size
+        elif direction is Direction.SERVER_TO_CLIENT:
+            self.trace.bytes_server_to_client += size
+        else:  # pragma: no cover - enum exhausts the cases
+            raise ChannelError(f"unknown direction {direction!r}")
+        self.trace.messages += 1
+        if direction is not self._last_direction:
+            self.trace.rounds += 1
+            self._last_direction = direction
+        return payload
+
+    def client_sends(self, payload: Any) -> Any:
+        """Shorthand for a client-to-server message."""
+        return self.send(Direction.CLIENT_TO_SERVER, payload)
+
+    def server_sends(self, payload: Any) -> Any:
+        """Shorthand for a server-to-client message."""
+        return self.send(Direction.SERVER_TO_CLIENT, payload)
+
+    def reset_direction(self) -> None:
+        """Start a fresh protocol phase (next message opens a new round)."""
+        self._last_direction = None
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth pricing of a transcript.
+
+    Attributes
+    ----------
+    name:
+        Human-readable profile name.
+    latency_seconds:
+        One-way message latency.
+    bandwidth_bytes_per_second:
+        Link throughput.
+    """
+
+    name: str
+    latency_seconds: float
+    bandwidth_bytes_per_second: float
+
+    def transfer_seconds(self, total_bytes: int, rounds: int) -> float:
+        """Time to push ``total_bytes`` over ``rounds`` latency-bound
+        round trips."""
+        if total_bytes < 0 or rounds < 0:
+            raise ValueError("bytes and rounds must be non-negative")
+        return rounds * self.latency_seconds + total_bytes / self.bandwidth_bytes_per_second
+
+    def price(self, trace: ExecutionTrace) -> float:
+        """Network seconds implied by a trace under this model."""
+        return self.transfer_seconds(trace.total_bytes, trace.rounds)
+
+
+class NetworkProfile:
+    """Standard network profiles used across benchmarks."""
+
+    LOOPBACK = NetworkModel(
+        name="loopback",
+        latency_seconds=10e-6,
+        bandwidth_bytes_per_second=5e9,
+    )
+    LAN = NetworkModel(
+        name="lan",
+        latency_seconds=0.25e-3,
+        bandwidth_bytes_per_second=125e6,  # 1 Gbit/s
+    )
+    WAN = NetworkModel(
+        name="wan",
+        latency_seconds=40e-3,
+        bandwidth_bytes_per_second=6.25e6,  # 50 Mbit/s
+    )
+
+    @classmethod
+    def by_name(cls, name: str) -> NetworkModel:
+        """Look a profile up by its name (case-insensitive)."""
+        profiles = {
+            "loopback": cls.LOOPBACK,
+            "lan": cls.LAN,
+            "wan": cls.WAN,
+        }
+        try:
+            return profiles[name.lower()]
+        except KeyError:
+            raise ChannelError(
+                f"unknown network profile {name!r}; expected one of "
+                f"{sorted(profiles)}"
+            ) from None

@@ -1,0 +1,125 @@
+"""Execution traces: the accounting backbone of every protocol run.
+
+Each protocol invocation records, into a shared :class:`ExecutionTrace`:
+
+* counts of cryptographic operations (:class:`Op`),
+* bytes sent in each direction and the number of communication rounds
+  (recorded by :class:`repro.smc.network.Channel`),
+* wall-clock time.
+
+The analytic cost model (:mod:`repro.smc.cost_model`) converts a trace
+into estimated runtime under arbitrary hardware and network profiles, so
+benchmarks can report both live pure-Python timings and extrapolated
+production timings from the *same* execution.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+class Op(enum.Enum):
+    """Cryptographic operations tracked by the cost model."""
+
+    PAILLIER_ENCRYPT = "paillier_encrypt"
+    PAILLIER_DECRYPT = "paillier_decrypt"
+    PAILLIER_ADD = "paillier_add"
+    PAILLIER_SCALAR_MUL = "paillier_scalar_mul"
+    PAILLIER_RERANDOMIZE = "paillier_rerandomize"
+    DGK_ENCRYPT = "dgk_encrypt"
+    DGK_ZERO_TEST = "dgk_zero_test"
+    DGK_ADD = "dgk_add"
+    DGK_SCALAR_MUL = "dgk_scalar_mul"
+    GM_ENCRYPT = "gm_encrypt"
+    GM_DECRYPT = "gm_decrypt"
+    GM_XOR = "gm_xor"
+    OT_TRANSFER_1OF2 = "ot_transfer_1of2"
+    SHARE_MUL_TRIPLE = "share_mul_triple"
+    SYMMETRIC_OP = "symmetric_op"
+
+
+@dataclass
+class ExecutionTrace:
+    """Mutable record of one (or several composed) protocol executions.
+
+    Traces are additive: running several protocols against the same trace
+    accumulates their costs, which is how a full classification query
+    (dot product + comparison + argmax) is accounted end to end.
+    """
+
+    ops: Counter = field(default_factory=Counter)
+    bytes_client_to_server: int = 0
+    bytes_server_to_client: int = 0
+    messages: int = 0
+    rounds: int = 0
+    wall_seconds: float = 0.0
+    label: str = ""
+
+    def count(self, op: Op, times: int = 1) -> None:
+        """Record ``times`` occurrences of ``op``."""
+        if times < 0:
+            raise ValueError(f"cannot count a negative number of ops: {times}")
+        self.ops[op] += times
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes across both directions."""
+        return self.bytes_client_to_server + self.bytes_server_to_client
+
+    def merge(self, other: "ExecutionTrace") -> None:
+        """Fold another trace's costs into this one."""
+        self.ops.update(other.ops)
+        self.bytes_client_to_server += other.bytes_client_to_server
+        self.bytes_server_to_client += other.bytes_server_to_client
+        self.messages += other.messages
+        self.rounds += other.rounds
+        self.wall_seconds += other.wall_seconds
+
+    def timed(self) -> "_TraceTimer":
+        """Context manager adding elapsed wall time to this trace::
+
+            with trace.timed():
+                run_protocol(...)
+        """
+        return _TraceTimer(self)
+
+    def op_count(self, op: Op) -> int:
+        """Number of recorded occurrences of ``op``."""
+        return self.ops.get(op, 0)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict view used by benchmark reporting."""
+        result: Dict[str, float] = {
+            "bytes_total": float(self.total_bytes),
+            "bytes_client_to_server": float(self.bytes_client_to_server),
+            "bytes_server_to_client": float(self.bytes_server_to_client),
+            "messages": float(self.messages),
+            "rounds": float(self.rounds),
+            "wall_seconds": self.wall_seconds,
+        }
+        for op, count in sorted(self.ops.items(), key=lambda kv: kv[0].value):
+            result[f"op_{op.value}"] = float(count)
+        return result
+
+    def __iter__(self) -> Iterator:
+        return iter(self.summary().items())
+
+
+class _TraceTimer:
+    """Context manager recording wall time into a trace."""
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        self._trace = trace
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_TraceTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self._trace.wall_seconds += time.perf_counter() - self._start

@@ -1,0 +1,182 @@
+"""Tests for compiled classifier circuits and the Yao cost model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.builder import CircuitError, Owner
+from repro.circuits.classifiers import (
+    compile_linear,
+    compile_naive_bayes,
+    compile_tree,
+)
+from repro.circuits.garbled import YAO_2015, GarbledCostModel
+from repro.classifiers import (
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    NaiveBayesClassifier,
+)
+from repro.secure import SecureLinearClassifier, SecureNaiveBayesClassifier
+from repro.smc.network import NetworkProfile
+
+
+@pytest.fixture(scope="module")
+def models(warfarin_split):
+    train, test = warfarin_split
+    lr = LogisticRegressionClassifier(iterations=120).fit(train.X, train.y)
+    nb = NaiveBayesClassifier(domain_sizes=train.domain_sizes).fit(
+        train.X, train.y
+    )
+    dt = DecisionTreeClassifier(max_depth=5).fit(train.X, train.y)
+    return {
+        "train": train,
+        "test": test,
+        "linear": SecureLinearClassifier(lr, train.features),
+        "nb": SecureNaiveBayesClassifier(nb, train.features),
+        "tree": dt,
+    }
+
+
+class TestLinearCircuit:
+    def test_parity_all_hidden(self, models):
+        secure = models["linear"]
+        train = models["train"]
+        compiled = compile_linear(
+            secure.weight_rows, secure.biases, train.domain_sizes,
+            secure.classes, hidden=list(range(train.n_features)),
+        )
+        for row in models["test"].X[:10]:
+            assert compiled.predict(row) == secure.predict_quantized(row)
+
+    def test_parity_partial_disclosure(self, models):
+        secure = models["linear"]
+        train = models["train"]
+        row = models["test"].X[0]
+        disclosed = {i: int(row[i]) for i in range(8)}
+        compiled = compile_linear(
+            secure.weight_rows, secure.biases, train.domain_sizes,
+            secure.classes, hidden=list(range(8, train.n_features)),
+            disclosed_values=disclosed,
+        )
+        assert compiled.predict(row) == secure.predict_quantized(row)
+
+    def test_disclosure_shrinks_circuit(self, models):
+        secure = models["linear"]
+        train = models["train"]
+        full = compile_linear(
+            secure.weight_rows, secure.biases, train.domain_sizes,
+            secure.classes, hidden=list(range(train.n_features)),
+        )
+        row = models["test"].X[0]
+        partial = compile_linear(
+            secure.weight_rows, secure.biases, train.domain_sizes,
+            secure.classes, hidden=[10, 11],
+            disclosed_values={i: int(row[i]) for i in range(10)},
+        )
+        assert partial.circuit.and_count < full.circuit.and_count / 2
+        assert partial.circuit.input_count(Owner.CLIENT) < \
+            full.circuit.input_count(Owner.CLIENT)
+
+    def test_partition_validation(self, models):
+        secure = models["linear"]
+        train = models["train"]
+        with pytest.raises(CircuitError):
+            compile_linear(
+                secure.weight_rows, secure.biases, train.domain_sizes,
+                secure.classes, hidden=[0, 1],  # others uncovered
+            )
+        with pytest.raises(CircuitError):
+            compile_linear(
+                secure.weight_rows, secure.biases, train.domain_sizes,
+                secure.classes, hidden=list(range(12)),
+                disclosed_values={0: 1},  # overlap
+            )
+
+
+class TestNaiveBayesCircuit:
+    def test_parity_all_hidden(self, models):
+        secure = models["nb"]
+        train = models["train"]
+        compiled = compile_naive_bayes(
+            secure.int_priors, secure.int_tables, train.domain_sizes,
+            secure.classes, hidden=list(range(train.n_features)),
+        )
+        for row in models["test"].X[:10]:
+            assert compiled.predict(row) == secure.predict_quantized(row)
+
+    def test_parity_partial(self, models):
+        secure = models["nb"]
+        train = models["train"]
+        for row in models["test"].X[:4]:
+            disclosed = {i: int(row[i]) for i in (0, 1, 2, 5, 9)}
+            hidden = [i for i in range(train.n_features) if i not in disclosed]
+            compiled = compile_naive_bayes(
+                secure.int_priors, secure.int_tables, train.domain_sizes,
+                secure.classes, hidden=hidden, disclosed_values=disclosed,
+            )
+            assert compiled.predict(row) == secure.predict_quantized(row)
+
+
+class TestTreeCircuit:
+    def test_parity(self, models):
+        tree = models["tree"]
+        train = models["train"]
+        compiled = compile_tree(tree.root, train.domain_sizes, label_width=2)
+        for row in models["test"].X[:15]:
+            assert compiled.predict(row) == tree.predict_one(row)
+
+    def test_leaf_only_tree(self, models):
+        from repro.classifiers.decision_tree import TreeNode
+
+        compiled = compile_tree(
+            TreeNode(label=2), models["train"].domain_sizes, label_width=2
+        )
+        assert compiled.predict(models["test"].X[0]) == 2
+        assert compiled.circuit.and_count == 0
+
+    def test_circuit_size_tracks_tree_size(self, models):
+        tree = models["tree"]
+        train = models["train"]
+        full = compile_tree(tree.root, train.domain_sizes, label_width=2)
+        assert tree.root.left is not None
+        smaller = compile_tree(tree.root.left, train.domain_sizes, label_width=2)
+        assert smaller.circuit.and_count < full.circuit.and_count
+
+
+class TestGarbledCostModel:
+    def test_breakdown_sums(self, models):
+        train = models["train"]
+        compiled = compile_tree(models["tree"].root, train.domain_sizes, 2)
+        model = GarbledCostModel()
+        breakdown = model.price(compiled.circuit)
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.compute_seconds + breakdown.ot_seconds
+            + breakdown.network_seconds
+        )
+
+    def test_padding_increases_cost(self, models):
+        train = models["train"]
+        compiled = compile_tree(models["tree"].root, train.domain_sizes, 2)
+        base = GarbledCostModel().total_seconds(compiled.circuit)
+        padded = GarbledCostModel(padding_factor=4.0).total_seconds(
+            compiled.circuit
+        )
+        assert padded > base
+
+    def test_setup_amortization(self, models):
+        train = models["train"]
+        compiled = compile_tree(models["tree"].root, train.domain_sizes, 2)
+        amortized = GarbledCostModel(amortize_setup=True)
+        one_shot = GarbledCostModel(amortize_setup=False)
+        assert one_shot.total_seconds(compiled.circuit) == pytest.approx(
+            amortized.total_seconds(compiled.circuit)
+            + YAO_2015.base_ot_setup_seconds
+        )
+
+    def test_wan_slower_than_lan(self, models):
+        train = models["train"]
+        compiled = compile_tree(models["tree"].root, train.domain_sizes, 2)
+        lan = GarbledCostModel(network=NetworkProfile.LAN)
+        wan = GarbledCostModel(network=NetworkProfile.WAN)
+        assert wan.total_seconds(compiled.circuit) > lan.total_seconds(
+            compiled.circuit
+        )

@@ -1,0 +1,175 @@
+"""Tests for the executable garbled-circuit runtime."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import arithmetic as ar
+from repro.circuits.builder import Circuit, Owner, assign_value
+from repro.circuits.yao_runtime import (
+    Evaluator,
+    Garbler,
+    YaoRuntimeError,
+    run_garbled,
+)
+from repro.crypto.rand import fresh_rng
+
+
+def _split_assignment(circuit, assignment):
+    client = {w: assignment[w] for w in circuit.input_wires(Owner.CLIENT)}
+    server = {w: assignment[w] for w in circuit.input_wires(Owner.SERVER)}
+    return client, server
+
+
+class TestGateLevel:
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_and_gate(self, x, y):
+        c = Circuit()
+        a = c.input_bit(Owner.CLIENT)
+        b = c.input_bit(Owner.SERVER)
+        c.mark_output(c.gate_and(a, b))
+        assert run_garbled(c, {a: x}, {b: y}) == (x & y)
+
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_xor_gate(self, x, y):
+        c = Circuit()
+        a = c.input_bit(Owner.CLIENT)
+        b = c.input_bit(Owner.SERVER)
+        c.mark_output(c.gate_xor(a, b))
+        assert run_garbled(c, {a: x}, {b: y}) == (x ^ y)
+
+    @pytest.mark.parametrize("x", [0, 1])
+    def test_not_gate(self, x):
+        c = Circuit()
+        a = c.input_bit(Owner.CLIENT)
+        c.mark_output(c.gate_not(a))
+        assert run_garbled(c, {a: x}, {}) == 1 - x
+
+    def test_constants(self):
+        c = Circuit()
+        a = c.input_bit(Owner.CLIENT)
+        c.mark_output(c.gate_and(a, Circuit.CONST_ONE))
+        c.mark_output(c.gate_or(a, Circuit.CONST_ONE))
+        garbler = Garbler(c, rng=fresh_rng(1))
+        garbled = garbler.garble()
+        evaluator = Evaluator(garbled)
+        labels = {a: garbler.label_for(a, 1)}
+        assert evaluator.evaluate(labels) == [1, 1]
+
+
+class TestGadgetsGarbled:
+    def test_adder_matches_plaintext(self):
+        c = Circuit()
+        a = c.input_bits(Owner.CLIENT, 6)
+        b = c.input_bits(Owner.SERVER, 6)
+        c.mark_outputs(ar.add(c, a, b))
+        for x, y in ((0, 0), (21, 42), (63, 63), (17, 5)):
+            asg = {**assign_value(c, a, x), **assign_value(c, b, y)}
+            client, server = _split_assignment(c, asg)
+            assert run_garbled(c, client, server) == x + y == c.evaluate_int(asg)
+
+    def test_comparator_matches_plaintext(self):
+        c = Circuit()
+        a = c.input_bits(Owner.CLIENT, 4)
+        b = c.input_bits(Owner.SERVER, 4)
+        c.mark_output(ar.less_than(c, a, b))
+        for x, y in itertools.product(range(0, 16, 5), repeat=2):
+            asg = {**assign_value(c, a, x), **assign_value(c, b, y)}
+            client, server = _split_assignment(c, asg)
+            assert run_garbled(c, client, server) == int(x < y)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=10, deadline=None)
+    def test_random_mixed_circuit(self, x, y):
+        c = Circuit()
+        a = c.input_bits(Owner.CLIENT, 8)
+        b = c.input_bits(Owner.SERVER, 8)
+        total = ar.add(c, a, b, width=9)
+        shifted = ar.subtract(c, total, c.constant_bits(7, 9), width=9)
+        c.mark_outputs(shifted)
+        asg = {**assign_value(c, a, x), **assign_value(c, b, y)}
+        client, server = _split_assignment(c, asg)
+        assert run_garbled(c, client, server) == c.evaluate_int(asg)
+
+
+class TestCompiledClassifierGarbled:
+    def test_tree_circuit_garbled(self, warfarin_split):
+        from repro.circuits.classifiers import compile_tree
+        from repro.classifiers import DecisionTreeClassifier
+
+        train, test = warfarin_split
+        tree = DecisionTreeClassifier(max_depth=4).fit(train.X, train.y)
+        compiled = compile_tree(tree.root, train.domain_sizes, label_width=2)
+        for row in test.X[:3]:
+            client = {}
+            for feature, wires in compiled.client_inputs.items():
+                value = int(row[feature])
+                for i, wire in enumerate(wires):
+                    client[wire] = (value >> i) & 1
+            result = run_garbled(
+                compiled.circuit, client, compiled.server_assignment
+            )
+            assert result == tree.predict_one(row)
+
+
+class TestRealOt:
+    def test_ot_delivery_matches_direct(self):
+        c = Circuit()
+        a = c.input_bits(Owner.CLIENT, 3)
+        b = c.input_bits(Owner.SERVER, 3)
+        c.mark_outputs(ar.add(c, a, b))
+        asg = {**assign_value(c, a, 5), **assign_value(c, b, 6)}
+        client, server = _split_assignment(c, asg)
+        direct = run_garbled(c, client, server, rng=fresh_rng(3))
+        with_ot = run_garbled(
+            c, client, server, rng=fresh_rng(3), use_real_ot=True
+        )
+        assert direct == with_ot == 11
+
+
+class TestSecurityShape:
+    def test_evaluator_labels_hide_bits(self):
+        """The active label's select bit must not equal the plaintext
+        bit systematically (labels are random; permute bits decouple
+        them)."""
+        mismatches = 0
+        for seed in range(20):
+            c = Circuit()
+            a = c.input_bit(Owner.CLIENT)
+            c.mark_output(a)
+            garbler = Garbler(c, rng=fresh_rng(seed))
+            garbler.garble()
+            label = garbler.label_for(a, 1)
+            mismatches += (label & 1) != 1
+        assert 0 < mismatches < 20  # select bit uncorrelated with value
+
+    def test_wrong_label_decodes_garbage_not_crash(self):
+        c = Circuit()
+        a = c.input_bit(Owner.CLIENT)
+        b = c.input_bit(Owner.SERVER)
+        c.mark_output(c.gate_and(a, b))
+        garbler = Garbler(c, rng=fresh_rng(9))
+        garbled = garbler.garble()
+        evaluator = Evaluator(garbled)
+        bogus = {a: 12345, b: 67890}
+        bits = evaluator.evaluate(bogus)  # garbage in, bits out
+        assert all(bit in (0, 1) for bit in bits)
+
+    def test_missing_input_rejected(self):
+        c = Circuit()
+        a = c.input_bit(Owner.CLIENT)
+        c.mark_output(a)
+        with pytest.raises(YaoRuntimeError):
+            run_garbled(c, {}, {})
+
+    def test_garbled_table_size_accounting(self):
+        c = Circuit()
+        a = c.input_bits(Owner.CLIENT, 4)
+        b = c.input_bits(Owner.SERVER, 4)
+        c.mark_output(ar.less_than(c, a, b))
+        garbled = Garbler(c, rng=fresh_rng(4)).garble()
+        assert garbled.table_bytes == 4 * 16 * c.and_count

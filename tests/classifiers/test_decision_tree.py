@@ -1,0 +1,109 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.base import ClassifierError
+from repro.classifiers.decision_tree import (
+    DecisionTreeClassifier,
+    TreeNode,
+    _gini,
+    _majority_label,
+)
+from repro.classifiers.metrics import accuracy
+
+
+def _xorish_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(n, 3))
+    y = X[:, 0] ^ X[:, 1]
+    return X, y
+
+
+class TestTraining:
+    def test_learns_xor(self):
+        X, y = _xorish_data()
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0
+
+    def test_depth_cap_respected(self):
+        X, y = _xorish_data()
+        model = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert model.root.depth() <= 1
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.array([[0], [1], [2]])
+        y = np.array([1, 1, 1])
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.root.is_leaf
+        assert model.root.label == 1
+
+    def test_min_samples_split(self):
+        X, y = _xorish_data(6)
+        model = DecisionTreeClassifier(min_samples_split=100).fit(X, y)
+        assert model.root.is_leaf
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 3, size=(600, 2))
+        y = X[:, 0]  # label equals feature 0
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0
+
+
+class TestTreeNode:
+    def _small_tree(self) -> TreeNode:
+        return TreeNode(
+            feature=0,
+            threshold=1,
+            left=TreeNode(label=0),
+            right=TreeNode(
+                feature=1, threshold=0,
+                left=TreeNode(label=1), right=TreeNode(label=2),
+            ),
+        )
+
+    def test_counts(self):
+        tree = self._small_tree()
+        assert tree.count_internal() == 2
+        assert tree.count_leaves() == 3
+        assert tree.depth() == 2
+
+    def test_leaves_ordering(self):
+        labels = [leaf.label for leaf in self._small_tree().leaves()]
+        assert labels == [0, 1, 2]
+
+    def test_leaf_properties(self):
+        leaf = TreeNode(label=5)
+        assert leaf.is_leaf
+        assert leaf.depth() == 0
+        assert leaf.count_internal() == 0
+
+
+class TestHelpers:
+    def test_gini_pure(self):
+        assert _gini(np.array([1, 1, 1])) == 0.0
+
+    def test_gini_balanced_binary(self):
+        assert _gini(np.array([0, 1, 0, 1])) == pytest.approx(0.5)
+
+    def test_gini_empty(self):
+        assert _gini(np.array([])) == 0.0
+
+    def test_majority_label_tie_breaks_low(self):
+        assert _majority_label(np.array([0, 1])) == 0
+        assert _majority_label(np.array([2, 2, 5])) == 2
+
+
+class TestValidation:
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ClassifierError):
+            DecisionTreeClassifier(max_depth=-1)
+
+    def test_bad_min_samples_rejected(self):
+        with pytest.raises(ClassifierError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ClassifierError):
+            DecisionTreeClassifier().predict_one(np.zeros(2))

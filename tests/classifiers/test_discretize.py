@@ -1,0 +1,69 @@
+"""Tests for continuous-feature discretization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers.discretize import DiscretizationError, Discretizer
+
+
+class TestUniform:
+    def test_equal_width_bins(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        codes = Discretizer(n_bins=4, strategy="uniform").fit_transform(X)
+        assert codes[:, 0].tolist() == [0, 1, 2, 3]
+
+    def test_constant_column_is_safe(self):
+        X = np.full((10, 1), 7.0)
+        codes = Discretizer(n_bins=3).fit_transform(X)
+        assert set(codes[:, 0]) == {0}
+
+    def test_out_of_range_values_clipped(self):
+        d = Discretizer(n_bins=4).fit(np.array([[0.0], [1.0]]))
+        codes = d.transform(np.array([[-100.0], [100.0]]))
+        assert codes[0, 0] == 0
+        assert codes[1, 0] == 3
+
+
+class TestQuantile:
+    def test_balanced_population(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(1000, 1))
+        codes = Discretizer(n_bins=4, strategy="quantile").fit_transform(X)
+        counts = np.bincount(codes[:, 0], minlength=4)
+        assert (counts > 150).all()  # roughly balanced quartiles
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=5, deadline=None)
+    def test_codes_within_domain(self, bins):
+        rng = np.random.default_rng(bins)
+        X = rng.normal(size=(200, 2))
+        d = Discretizer(n_bins=bins, strategy="quantile")
+        codes = d.fit_transform(X)
+        assert codes.min() >= 0
+        assert codes.max() < bins
+        assert all(size <= bins for size in d.domain_sizes())
+
+
+class TestValidation:
+    def test_bad_bins_rejected(self):
+        with pytest.raises(DiscretizationError):
+            Discretizer(n_bins=1)
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(DiscretizationError):
+            Discretizer(strategy="magic")
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(DiscretizationError):
+            Discretizer().transform(np.zeros((2, 2)))
+
+    def test_column_count_mismatch_rejected(self):
+        d = Discretizer().fit(np.zeros((5, 2)))
+        with pytest.raises(DiscretizationError):
+            d.transform(np.zeros((5, 3)))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(DiscretizationError):
+            Discretizer().fit(np.zeros(5))

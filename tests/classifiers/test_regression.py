@@ -1,0 +1,86 @@
+"""Tests for ridge regression and its metrics."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.base import ClassifierError
+from repro.classifiers.regression import (
+    RidgeRegression,
+    mean_absolute_error,
+    r2_score,
+)
+
+
+def _linear_data(n=300, seed=0, noise=0.1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = X @ np.array([2.0, -1.0, 0.5]) + 3.0 + rng.normal(0, noise, n)
+    return X, y
+
+
+class TestFit:
+    def test_recovers_coefficients(self):
+        X, y = _linear_data(noise=0.01)
+        model = RidgeRegression(l2=1e-6).fit(X, y)
+        assert np.allclose(model.weights, [2.0, -1.0, 0.5], atol=0.05)
+        assert model.intercept == pytest.approx(3.0, abs=0.05)
+
+    def test_high_r2_on_clean_data(self):
+        X, y = _linear_data()
+        model = RidgeRegression().fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.97
+
+    def test_ridge_shrinks_weights(self):
+        X, y = _linear_data()
+        loose = RidgeRegression(l2=1e-6).fit(X, y)
+        tight = RidgeRegression(l2=100.0).fit(X, y)
+        assert np.abs(tight.weights).sum() < np.abs(loose.weights).sum()
+
+    def test_predict_one_matches_batch(self):
+        X, y = _linear_data(50)
+        model = RidgeRegression().fit(X, y)
+        assert model.predict_one(X[0]) == pytest.approx(model.predict(X)[0])
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ClassifierError):
+            RidgeRegression(l2=-1.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ClassifierError):
+            RidgeRegression().predict(np.zeros((2, 3)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ClassifierError):
+            RidgeRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestWarfarinDose:
+    def test_learns_iwpc_structure(self):
+        from repro.data.warfarin import generate_warfarin_with_dose
+
+        dataset, dose = generate_warfarin_with_dose(3000, seed=0)
+        model = RidgeRegression().fit(dataset.X[:2400], dose[:2400])
+        predictions = model.predict(dataset.X[2400:])
+        assert r2_score(dose[2400:], predictions) > 0.8
+        assert mean_absolute_error(dose[2400:], predictions) < 6.0
+        # VKORC1 must carry a strong negative coefficient (AA -> low dose).
+        vkorc1 = dataset.feature_index("vkorc1")
+        assert model.weights[vkorc1] < -5.0
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mean_absolute_error(np.array([1.0, 2.0]), np.array([2.0, 0.0])) \
+            == pytest.approx(1.5)
+
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ClassifierError):
+            mean_absolute_error(np.array([1.0]), np.array([1.0, 2.0]))

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tradeoff"])
+        assert args.dataset == "warfarin"
+        assert args.classifier == "naive_bayes"
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tradeoff", "--dataset", "mnist"])
+
+
+class TestDatasetsCommand:
+    def test_lists_all_cohorts(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("warfarin-like", "adult-like", "cancer-like"):
+            assert name in out
+        assert "sensitive" in out
+
+
+class TestTradeoffCommand:
+    def test_prints_curve(self, capsys):
+        code = main([
+            "tradeoff", "--dataset", "cancer", "--classifier", "naive_bayes",
+            "--budgets", "0,1.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert out.count("\n") >= 5
+
+
+class TestClassifyCommand:
+    def test_live_rows_match(self, capsys):
+        code = main([
+            "classify", "--dataset", "cancer", "--classifier", "tree",
+            "--budget", "0.2", "--rows", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+        assert "MISMATCH" not in out
+        assert "speedup" in out
+
+
+class TestAttackCommand:
+    def test_escalation_table(self, capsys):
+        assert main(["attack", "--victims", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "vkorc1" in out
+        assert "+model output" in out

@@ -1,0 +1,65 @@
+"""Tests for the trade-off analyzer."""
+
+import pytest
+
+from repro import PipelineConfig, PrivacyAwareClassifier, ReproError, TradeoffAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer(warfarin_split):
+    train, _ = warfarin_split
+    pac = PrivacyAwareClassifier(
+        PipelineConfig(
+            classifier="naive_bayes", paillier_bits=384, dgk_bits=192,
+            risk_sample_rows=150,
+        )
+    ).fit(train)
+    return TradeoffAnalyzer(pac)
+
+
+class TestSweep:
+    def test_point_per_budget(self, analyzer):
+        points = analyzer.sweep([0.0, 0.1, 1.0])
+        assert len(points) == 3
+        assert [p.risk_budget for p in points] == [0.0, 0.1, 1.0]
+
+    def test_costs_non_increasing(self, analyzer):
+        points = analyzer.sweep([0.0, 0.05, 0.3, 0.7, 1.0])
+        costs = [p.cost_seconds for p in points]
+        assert all(a >= b - 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_speedups_non_decreasing(self, analyzer):
+        points = analyzer.sweep([0.0, 0.05, 1.0])
+        speedups = [p.speedup for p in points]
+        assert speedups[0] <= speedups[-1]
+
+    def test_headline_three_orders_at_full_disclosure(self, analyzer):
+        points = analyzer.sweep([1.0])
+        assert points[0].speedup > 100  # orders-of-magnitude regime
+
+    def test_achieved_risk_within_budget(self, analyzer):
+        for point in analyzer.sweep([0.02, 0.2, 0.6]):
+            assert point.achieved_risk <= point.risk_budget + 1e-9
+
+    def test_disclosed_names_resolved(self, analyzer):
+        point = analyzer.sweep([0.05])[0]
+        assert all(isinstance(name, str) for name in point.disclosed_names)
+        assert len(point.disclosed_names) == point.disclosed_count
+
+    def test_empty_budgets_rejected(self, analyzer):
+        with pytest.raises(ReproError):
+            analyzer.sweep([])
+
+
+class TestFormatting:
+    def test_table_renders(self, analyzer):
+        points = analyzer.sweep([0.0, 1.0])
+        table = TradeoffAnalyzer.format_table(points)
+        assert "budget" in table
+        assert "speedup" in table
+        assert len(table.splitlines()) == 4
+
+    def test_point_row(self, analyzer):
+        point = analyzer.sweep([0.1])[0]
+        row = point.row()
+        assert len(row) == 5

@@ -1,0 +1,41 @@
+"""Tests for Beaver triple generation."""
+
+import pytest
+
+from repro.crypto.beaver import BeaverError, TrustedDealer
+from repro.crypto.rand import fresh_rng
+from repro.crypto.secret_sharing import AdditiveSecretSharer
+
+
+class TestTrustedDealer:
+    def test_triple_identity(self):
+        dealer = TrustedDealer(rng=fresh_rng(1))
+        sharer = AdditiveSecretSharer(modulus=dealer.modulus)
+        for _ in range(10):
+            first, second = dealer.triple()
+            a = sharer.reconstruct([first.a, second.a])
+            b = sharer.reconstruct([first.b, second.b])
+            c = sharer.reconstruct([first.c, second.c])
+            assert (a * b - c) % dealer.modulus == 0
+
+    def test_triples_are_fresh(self):
+        dealer = TrustedDealer(rng=fresh_rng(2))
+        first_batch, _ = dealer.triples(5)
+        values = {t.a.value for t in first_batch}
+        assert len(values) == 5  # overwhelmingly likely with a 64-bit ring
+
+    def test_batch_shapes(self):
+        dealer = TrustedDealer(rng=fresh_rng(3))
+        firsts, seconds = dealer.triples(7)
+        assert len(firsts) == 7 and len(seconds) == 7
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(BeaverError):
+            TrustedDealer(rng=fresh_rng(4)).triples(-1)
+
+    def test_custom_sharer_modulus(self):
+        sharer = AdditiveSecretSharer(modulus=1 << 32, rng=fresh_rng(5))
+        dealer = TrustedDealer(sharer=sharer, rng=fresh_rng(6))
+        assert dealer.modulus == 1 << 32
+        first, second = dealer.triple()
+        assert first.a.modulus == 1 << 32

@@ -1,0 +1,128 @@
+"""Tests for the DGK small-plaintext cryptosystem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dgk import DgkError, DgkKeyPair
+from repro.crypto.rand import fresh_rng
+
+
+class TestKeyGeneration:
+    def test_structure(self, dgk_keys):
+        private = dgk_keys.private_key
+        public = dgk_keys.public_key
+        assert public.n == private.p * private.q
+        assert (private.p - 1) % (public.u * private.v_p) == 0
+        assert (private.q - 1) % (public.u * private.v_q) == 0
+
+    def test_generator_orders(self, dgk_keys):
+        private = dgk_keys.private_key
+        public = dgk_keys.public_key
+        # g^(u * v_p) = 1 mod p, h^(v_p) = 1 mod p.
+        assert pow(public.g, public.u * private.v_p, private.p) == 1
+        assert pow(public.h, private.v_p, private.p) == 1
+        # g's order does not divide v_p alone (it carries the u part).
+        assert pow(public.g, private.v_p, private.p) != 1
+
+    def test_too_small_key_rejected(self):
+        with pytest.raises(DgkError):
+            DgkKeyPair.generate(key_bits=64, plaintext_bits=16, v_bits=60)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, dgk_keys):
+        rng = fresh_rng(1)
+        for value in (0, 1, 2, 100, 4000):
+            ct = dgk_keys.public_key.encrypt(value, rng=rng)
+            assert dgk_keys.private_key.decrypt(ct) == value % dgk_keys.public_key.u
+
+    def test_zero_test_fast_path(self, dgk_keys):
+        rng = fresh_rng(2)
+        assert dgk_keys.private_key.is_zero(dgk_keys.public_key.encrypt(0, rng=rng))
+        assert not dgk_keys.private_key.is_zero(
+            dgk_keys.public_key.encrypt(1, rng=rng)
+        )
+        assert not dgk_keys.private_key.is_zero(
+            dgk_keys.public_key.encrypt(4095, rng=rng)
+        )
+
+    def test_probabilistic(self, dgk_keys):
+        rng = fresh_rng(3)
+        a = dgk_keys.public_key.encrypt(7, rng=rng)
+        b = dgk_keys.public_key.encrypt(7, rng=rng)
+        assert a.value != b.value
+
+    def test_wrong_key_rejected(self, dgk_keys):
+        other = DgkKeyPair.generate(
+            key_bits=192, plaintext_bits=10, rng=fresh_rng(4)
+        )
+        ct = other.public_key.encrypt(1, rng=fresh_rng(5))
+        with pytest.raises(DgkError):
+            dgk_keys.private_key.is_zero(ct)
+
+    @given(st.integers(0, 4000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, dgk_keys, value):
+        rng = fresh_rng(value + 100)
+        ct = dgk_keys.public_key.encrypt(value, rng=rng)
+        assert dgk_keys.private_key.decrypt(ct) == value
+
+
+class TestHomomorphism:
+    @given(st.integers(0, 2000), st.integers(0, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_additive(self, dgk_keys, a, b):
+        rng = fresh_rng(a * 4099 + b)
+        u = dgk_keys.public_key.u
+        ca = dgk_keys.public_key.encrypt(a, rng=rng)
+        cb = dgk_keys.public_key.encrypt(b, rng=rng)
+        assert dgk_keys.private_key.decrypt(ca + cb) == (a + b) % u
+
+    def test_plaintext_add(self, dgk_keys):
+        ct = dgk_keys.public_key.encrypt(40, rng=fresh_rng(6))
+        assert dgk_keys.private_key.decrypt(ct + 2) == 42
+        assert dgk_keys.private_key.decrypt(2 + ct) == 42
+
+    def test_scalar_mul(self, dgk_keys):
+        u = dgk_keys.public_key.u
+        ct = dgk_keys.public_key.encrypt(30, rng=fresh_rng(7))
+        assert dgk_keys.private_key.decrypt(ct * 3) == 90
+        assert dgk_keys.private_key.decrypt(100 * ct) == (3000 % u)
+
+    def test_negation_and_subtraction(self, dgk_keys):
+        u = dgk_keys.public_key.u
+        rng = fresh_rng(8)
+        a = dgk_keys.public_key.encrypt(10, rng=rng)
+        b = dgk_keys.public_key.encrypt(4, rng=rng)
+        assert dgk_keys.private_key.decrypt(a - b) == 6
+        assert dgk_keys.private_key.decrypt(b - a) == (u - 6)
+        assert dgk_keys.private_key.decrypt(-a) == (u - 10)
+
+    def test_blinding_preserves_nonzero(self, dgk_keys):
+        # A non-zero plaintext stays non-zero after multiplication by
+        # any non-zero scalar (u is prime) -- the property the
+        # comparison protocol's blinding relies on.
+        rng = fresh_rng(9)
+        u = dgk_keys.public_key.u
+        ct = dgk_keys.public_key.encrypt(3, rng=rng)
+        for rho in (1, 2, u - 1, 12345 % u):
+            assert not dgk_keys.private_key.is_zero(ct * rho)
+
+    def test_cross_key_rejected(self, dgk_keys):
+        other = DgkKeyPair.generate(
+            key_bits=192, plaintext_bits=10, rng=fresh_rng(10)
+        )
+        a = dgk_keys.public_key.encrypt(1, rng=fresh_rng(11))
+        b = other.public_key.encrypt(2, rng=fresh_rng(12))
+        with pytest.raises(DgkError):
+            _ = a + b
+
+
+class TestRerandomize:
+    def test_value_preserved(self, dgk_keys):
+        rng = fresh_rng(13)
+        ct = dgk_keys.public_key.encrypt(9, rng=rng)
+        fresh = ct.rerandomize(rng=rng)
+        assert fresh.value != ct.value
+        assert dgk_keys.private_key.decrypt(fresh) == 9

@@ -1,0 +1,91 @@
+"""Tests for Goldwasser-Micali bitwise encryption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gm import GMError, GMKeyPair
+from repro.crypto.numtheory import jacobi
+from repro.crypto.rand import fresh_rng
+
+
+class TestKeyGeneration:
+    def test_blum_factors(self, gm_keys):
+        assert gm_keys.private_key.p % 4 == 3
+        assert gm_keys.private_key.q % 4 == 3
+
+    def test_pseudo_residue_jacobi(self, gm_keys):
+        assert jacobi(gm_keys.public_key.pseudo_residue, gm_keys.public_key.n) == 1
+
+
+class TestEncryptDecrypt:
+    def test_bit_roundtrip(self, gm_keys):
+        rng = fresh_rng(1)
+        for bit in (0, 1):
+            ct = gm_keys.public_key.encrypt_bit(bit, rng=rng)
+            assert gm_keys.private_key.decrypt_bit(ct) == bit
+
+    def test_bits_roundtrip(self, gm_keys):
+        rng = fresh_rng(2)
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        cts = gm_keys.public_key.encrypt_bits(bits, rng=rng)
+        assert gm_keys.private_key.decrypt_bits(cts) == bits
+
+    def test_non_bit_rejected(self, gm_keys):
+        with pytest.raises(GMError):
+            gm_keys.public_key.encrypt_bit(2)
+
+    def test_probabilistic(self, gm_keys):
+        rng = fresh_rng(3)
+        a = gm_keys.public_key.encrypt_bit(1, rng=rng)
+        b = gm_keys.public_key.encrypt_bit(1, rng=rng)
+        assert a.value != b.value
+
+    def test_wrong_key_rejected(self, gm_keys):
+        other = GMKeyPair.generate(key_bits=128, rng=fresh_rng(4))
+        ct = other.public_key.encrypt_bit(0, rng=fresh_rng(5))
+        with pytest.raises(GMError):
+            gm_keys.private_key.decrypt_bit(ct)
+
+
+class TestXorHomomorphism:
+    @given(st.integers(0, 1), st.integers(0, 1))
+    @settings(max_examples=8, deadline=None)
+    def test_ciphertext_xor(self, gm_keys, a, b):
+        rng = fresh_rng(a * 2 + b + 10)
+        ca = gm_keys.public_key.encrypt_bit(a, rng=rng)
+        cb = gm_keys.public_key.encrypt_bit(b, rng=rng)
+        assert gm_keys.private_key.decrypt_bit(ca ^ cb) == a ^ b
+
+    def test_plaintext_xor(self, gm_keys):
+        rng = fresh_rng(11)
+        ct = gm_keys.public_key.encrypt_bit(1, rng=rng)
+        assert gm_keys.private_key.decrypt_bit(ct ^ 1) == 0
+        assert gm_keys.private_key.decrypt_bit(ct ^ 0) == 1
+        assert gm_keys.private_key.decrypt_bit(1 ^ ct) == 0
+
+    def test_non_bit_plaintext_rejected(self, gm_keys):
+        ct = gm_keys.public_key.encrypt_bit(1, rng=fresh_rng(12))
+        with pytest.raises(GMError):
+            _ = ct ^ 3
+
+    def test_xor_chain(self, gm_keys):
+        rng = fresh_rng(13)
+        bits = [1, 0, 1, 1, 0, 1]
+        cts = gm_keys.public_key.encrypt_bits(bits, rng=rng)
+        acc = cts[0]
+        for ct in cts[1:]:
+            acc = acc ^ ct
+        expected = 0
+        for bit in bits:
+            expected ^= bit
+        assert gm_keys.private_key.decrypt_bit(acc) == expected
+
+
+class TestRerandomize:
+    def test_value_preserved(self, gm_keys):
+        rng = fresh_rng(14)
+        ct = gm_keys.public_key.encrypt_bit(1, rng=rng)
+        fresh = ct.rerandomize(rng=rng)
+        assert fresh.value != ct.value
+        assert gm_keys.private_key.decrypt_bit(fresh) == 1

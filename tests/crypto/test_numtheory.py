@@ -1,0 +1,192 @@
+"""Unit and property tests for number-theoretic primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import numtheory as nt
+from repro.crypto.rand import fresh_rng
+
+
+class TestIsProbablePrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert nt.is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 15, 91, 561, 1105, 7917):
+            assert not nt.is_probable_prime(c)
+
+    def test_negative_numbers(self):
+        assert not nt.is_probable_prime(-7)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes that Miller-Rabin must catch.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not nt.is_probable_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert nt.is_probable_prime(2**127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not nt.is_probable_prime(2**128 - 1)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, n):
+        by_trial = n >= 2 and all(n % d for d in range(2, int(n**0.5) + 1))
+        assert nt.is_probable_prime(n) == by_trial
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = fresh_rng(1)
+        for bits in (16, 32, 64, 128):
+            p = nt.generate_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert nt.is_probable_prime(p)
+
+    def test_condition_respected(self):
+        rng = fresh_rng(2)
+        p = nt.generate_prime(32, rng=rng, condition=lambda x: x % 4 == 3)
+        assert p % 4 == 3
+
+    def test_blum_prime(self):
+        p = nt.generate_blum_prime(32, rng=fresh_rng(3))
+        assert p % 4 == 3 and nt.is_probable_prime(p)
+
+    def test_rejects_tiny_bit_length(self):
+        with pytest.raises(ValueError):
+            nt.generate_prime(2)
+
+    def test_distinct_primes(self):
+        primes = nt.generate_distinct_primes(24, 5, rng=fresh_rng(4))
+        assert len(set(primes)) == 5
+        assert all(nt.is_probable_prime(p) for p in primes)
+
+
+class TestNextPrime:
+    def test_known_values(self):
+        assert nt.next_prime(1) == 2
+        assert nt.next_prime(2) == 3
+        assert nt.next_prime(10) == 11
+        assert nt.next_prime(13) == 17
+        assert nt.next_prime(1 << 16) == 65537
+
+    def test_result_exceeds_input(self):
+        for n in (5, 100, 1000):
+            assert nt.next_prime(n) > n
+
+
+class TestModularArithmetic:
+    def test_modinv_basic(self):
+        assert (3 * nt.modinv(3, 11)) % 11 == 1
+        assert (17 * nt.modinv(17, 3120)) % 3120 == 1
+
+    def test_modinv_missing_raises(self):
+        with pytest.raises(ValueError, match="no inverse"):
+            nt.modinv(6, 9)
+
+    @given(st.integers(2, 10_000), st.integers(2, 10_000))
+    @settings(max_examples=100)
+    def test_modinv_property(self, a, m):
+        if math.gcd(a, m) == 1:
+            assert (a * nt.modinv(a, m)) % m == 1
+
+    def test_egcd_identity(self):
+        g, x, y = nt.egcd(240, 46)
+        assert g == math.gcd(240, 46)
+        assert 240 * x + 46 * y == g
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    @settings(max_examples=100)
+    def test_egcd_property(self, a, b):
+        g, x, y = nt.egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_lcm(self):
+        assert nt.lcm(4, 6) == 12
+        assert nt.lcm(7, 13) == 91
+
+
+class TestCrt:
+    def test_two_congruences(self):
+        x = nt.crt([2, 3], [3, 5])
+        assert x % 3 == 2 and x % 5 == 3
+
+    def test_three_congruences(self):
+        x = nt.crt([1, 2, 3], [5, 7, 11])
+        assert x % 5 == 1 and x % 7 == 2 and x % 11 == 3
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            nt.crt([1, 2], [3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nt.crt([], [])
+
+    @given(
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip(self, x):
+        moduli = [101, 103, 107]
+        residues = [x % m for m in moduli]
+        product = 101 * 103 * 107
+        assert nt.crt(residues, moduli) == x % product
+
+
+class TestJacobi:
+    def test_known_values(self):
+        assert nt.jacobi(1, 3) == 1
+        assert nt.jacobi(2, 3) == -1
+        assert nt.jacobi(0, 3) == 0
+        assert nt.jacobi(1001, 9907) == -1  # textbook example
+
+    def test_even_modulus_raises(self):
+        with pytest.raises(ValueError):
+            nt.jacobi(3, 8)
+
+    def test_multiplicative_in_numerator(self):
+        n = 9907
+        for a, b in ((3, 5), (7, 11), (13, 17)):
+            assert nt.jacobi(a * b, n) == nt.jacobi(a, n) * nt.jacobi(b, n)
+
+    def test_matches_euler_for_primes(self):
+        p = 10007
+        for a in range(2, 50):
+            euler = pow(a, (p - 1) // 2, p)
+            expected = 1 if euler == 1 else -1
+            assert nt.jacobi(a, p) == expected
+
+
+class TestQuadraticResidues:
+    def test_squares_are_residues(self):
+        p = 103
+        for a in range(1, 20):
+            assert nt.is_quadratic_residue_mod_prime((a * a) % p, p)
+
+    def test_nonresidue_finder(self):
+        rng = fresh_rng(5)
+        p = nt.generate_blum_prime(24, rng=rng)
+        q = nt.generate_blum_prime(24, rng=rng)
+        x = nt.find_quadratic_nonresidue(p, q, rng=rng)
+        assert not nt.is_quadratic_residue_mod_prime(x, p)
+        assert not nt.is_quadratic_residue_mod_prime(x, q)
+        assert nt.jacobi(x, p * q) == 1
+
+
+class TestIntegerSqrt:
+    @given(st.integers(0, 10**12))
+    @settings(max_examples=100)
+    def test_floor_property(self, n):
+        r = nt.integer_sqrt(n)
+        assert r * r <= n < (r + 1) * (r + 1)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            nt.integer_sqrt(-1)

@@ -1,0 +1,105 @@
+"""Tests for oblivious transfer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ot import (
+    ObliviousTransferReceiver,
+    ObliviousTransferSender,
+    OTError,
+    one_of_n_transfer,
+    one_of_two_transfer,
+)
+from repro.crypto.rand import fresh_rng
+
+OT_BITS = 256
+
+
+class TestOneOfTwo:
+    def test_both_choices(self):
+        rng = fresh_rng(1)
+        m0, m1 = b"secret-zero!", b"secret-one!!"
+        assert one_of_two_transfer(m0, m1, 0, rng=rng, key_bits=OT_BITS) == m0
+        assert one_of_two_transfer(m0, m1, 1, rng=rng, key_bits=OT_BITS) == m1
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(OTError):
+            one_of_two_transfer(b"a", b"bb", 0, key_bits=OT_BITS)
+
+    def test_invalid_choice_rejected(self):
+        receiver = ObliviousTransferReceiver(rng=fresh_rng(2))
+        sender = ObliviousTransferSender(key_bits=OT_BITS, rng=fresh_rng(3))
+        with pytest.raises(OTError):
+            receiver.blind(sender.public_parameters(), 2)
+
+    def test_unmask_before_blind_rejected(self):
+        receiver = ObliviousTransferReceiver(rng=fresh_rng(4))
+        with pytest.raises(OTError):
+            receiver.unmask(b"x", b"y")
+
+    def test_manual_protocol_flow(self):
+        rng = fresh_rng(5)
+        sender = ObliviousTransferSender(key_bits=OT_BITS, rng=rng)
+        receiver = ObliviousTransferReceiver(rng=rng)
+        params = sender.public_parameters()
+        blinded = receiver.blind(params, 1)
+        masked0, masked1 = sender.respond(blinded, b"AAAAAAAA", b"BBBBBBBB")
+        assert receiver.unmask(masked0, masked1) == b"BBBBBBBB"
+
+    def test_unchosen_message_is_garbage(self):
+        # The receiver's unmask of the wrong slot must not reveal the
+        # other message (correct masks are slot-specific).
+        rng = fresh_rng(6)
+        sender = ObliviousTransferSender(key_bits=OT_BITS, rng=rng)
+        receiver = ObliviousTransferReceiver(rng=rng)
+        blinded = receiver.blind(sender.public_parameters(), 0)
+        masked0, masked1 = sender.respond(blinded, b"AAAAAAAA", b"BBBBBBBB")
+        assert receiver.unmask(masked0, masked1) == b"AAAAAAAA"
+        # Swapping the masked messages decodes the wrong slot's mask on
+        # the wrong ciphertext -> garbage, not "BBBBBBBB".
+        assert receiver.unmask(masked1, masked0) != b"BBBBBBBB"
+
+    def test_blinded_value_in_range(self):
+        rng = fresh_rng(7)
+        sender = ObliviousTransferSender(key_bits=OT_BITS, rng=rng)
+        receiver = ObliviousTransferReceiver(rng=rng)
+        params = sender.public_parameters()
+        blinded = receiver.blind(params, 0)
+        assert 0 <= blinded < params.modulus
+
+    def test_out_of_range_blind_rejected(self):
+        rng = fresh_rng(8)
+        sender = ObliviousTransferSender(key_bits=OT_BITS, rng=rng)
+        with pytest.raises(OTError):
+            sender.respond(-1, b"a", b"b")
+
+
+class TestOneOfN:
+    @given(st.integers(0, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_every_index(self, choice):
+        rng = fresh_rng(choice + 50)
+        table = [bytes([i] * 12) for i in range(10)]
+        assert one_of_n_transfer(table, choice, rng=rng, key_bits=OT_BITS) == table[choice]
+
+    def test_single_entry_table(self):
+        assert one_of_n_transfer([b"only"], 0, rng=fresh_rng(60), key_bits=OT_BITS) == b"only"
+
+    def test_non_power_of_two_table(self):
+        rng = fresh_rng(61)
+        table = [bytes([i] * 4) for i in range(5)]
+        for choice in range(5):
+            assert one_of_n_transfer(table, choice, rng=rng, key_bits=OT_BITS) == table[choice]
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(OTError):
+            one_of_n_transfer([], 0)
+
+    def test_out_of_range_choice_rejected(self):
+        with pytest.raises(OTError):
+            one_of_n_transfer([b"a", b"b"], 2)
+
+    def test_ragged_table_rejected(self):
+        with pytest.raises(OTError):
+            one_of_n_transfer([b"a", b"bb"], 0)

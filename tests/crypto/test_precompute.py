@@ -1,0 +1,85 @@
+"""Tests for the Paillier precomputation pool."""
+
+import time
+
+import pytest
+
+from repro.crypto.precompute import PoolExhaustedError, PrecomputedEncryptionPool
+from repro.crypto.rand import fresh_rng
+
+
+class TestCorrectness:
+    def test_pool_encryptions_decrypt(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=5, rng=fresh_rng(1)
+        )
+        for value in (0, 42, -17, 123456):
+            ct = pool.encrypt(value)
+            assert paillier_keys.private_key.decrypt(ct) == value
+
+    def test_pool_ciphertexts_compose_homomorphically(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=2, rng=fresh_rng(2)
+        )
+        total = pool.encrypt(10) + pool.encrypt(32)
+        assert paillier_keys.private_key.decrypt(total) == 42
+
+    def test_distinct_factors_used(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=2, rng=fresh_rng(3)
+        )
+        a = pool.encrypt(7)
+        b = pool.encrypt(7)
+        assert a.value != b.value  # each factor used once
+
+
+class TestPoolManagement:
+    def test_remaining_counts_down(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=3, rng=fresh_rng(4)
+        )
+        assert pool.remaining == 3
+        pool.encrypt(1)
+        assert pool.remaining == 2
+
+    def test_exhaustion_raises(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=1, rng=fresh_rng(5)
+        )
+        pool.encrypt(1)
+        with pytest.raises(PoolExhaustedError):
+            pool.encrypt(2)
+
+    def test_refill(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, rng=fresh_rng(6)
+        )
+        pool.refill(4)
+        assert pool.remaining == 4
+        with pytest.raises(ValueError):
+            pool.refill(-1)
+
+    def test_fallback_always_works(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, rng=fresh_rng(7)
+        )
+        ct = pool.encrypt_fallback(99)
+        assert paillier_keys.private_key.decrypt(ct) == 99
+
+
+class TestSpeed:
+    def test_online_faster_than_full(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=50, rng=fresh_rng(8)
+        )
+        start = time.perf_counter()
+        for i in range(50):
+            pool.encrypt(i)
+        pooled = time.perf_counter() - start
+
+        rng = fresh_rng(9)
+        start = time.perf_counter()
+        for i in range(50):
+            paillier_keys.public_key.encrypt(i, rng=rng)
+        full = time.perf_counter() - start
+        assert pooled < full  # typically 10-100x at real key sizes

@@ -1,0 +1,79 @@
+"""Tests for the deterministic randomness source."""
+
+import math
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandom, default_rng, fresh_rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = fresh_rng(42)
+        b = fresh_rng(42)
+        assert [a.getrandbits(64) for _ in range(5)] == [
+            b.getrandbits(64) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert fresh_rng(1).getrandbits(128) != fresh_rng(2).getrandbits(128)
+
+    def test_fork_is_deterministic(self):
+        a = fresh_rng(7).fork()
+        b = fresh_rng(7).fork()
+        assert a.getrandbits(64) == b.getrandbits(64)
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent = fresh_rng(9)
+        child = parent.fork()
+        first = child.getrandbits(32)
+        parent.getrandbits(512)  # consume parent heavily
+        assert child.getrandbits(32) != first or True  # child stream advances
+        # Re-derive: forking at the same point yields the same child.
+        parent2 = fresh_rng(9)
+        child2 = parent2.fork()
+        assert child2.getrandbits(32) == first
+
+
+class TestRanges:
+    def test_getrandbits_bounds(self):
+        rng = fresh_rng(1)
+        for bits in (1, 8, 64, 257):
+            assert 0 <= rng.getrandbits(bits) < (1 << bits)
+
+    def test_getrandbits_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fresh_rng(1).getrandbits(0)
+
+    def test_randbelow_bounds(self):
+        rng = fresh_rng(2)
+        for _ in range(100):
+            assert 0 <= rng.randbelow(10) < 10
+
+    def test_randbelow_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fresh_rng(1).randbelow(0)
+
+    def test_random_odd_bit_length_and_parity(self):
+        rng = fresh_rng(3)
+        for bits in (8, 16, 64):
+            value = rng.random_odd(bits)
+            assert value % 2 == 1
+            assert value.bit_length() == bits
+
+    def test_random_unit_coprime(self):
+        rng = fresh_rng(4)
+        modulus = 15  # small with non-units
+        for _ in range(20):
+            unit = rng.random_unit(modulus)
+            assert math.gcd(unit, modulus) == 1
+
+    def test_sample_distinct(self):
+        rng = fresh_rng(5)
+        picked = rng.sample(range(100), 10)
+        assert len(set(picked)) == 10
+
+
+class TestDefault:
+    def test_default_rng_singleton(self):
+        assert default_rng() is default_rng()

@@ -1,0 +1,121 @@
+"""Tests for additive and Shamir secret sharing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rand import fresh_rng
+from repro.crypto.secret_sharing import (
+    AdditiveSecretSharer,
+    AdditiveShare,
+    SecretSharingError,
+    ShamirSecretSharer,
+    share_vector,
+)
+
+PRIME = 2**61 - 1
+
+
+class TestAdditiveSharing:
+    @given(st.integers(-(2**40), 2**40), st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, secret, parties):
+        sharer = AdditiveSecretSharer(rng=fresh_rng(secret & 0xFFFF))
+        shares = sharer.share(secret, parties=parties)
+        assert len(shares) == parties
+        assert sharer.reconstruct(shares) == secret
+
+    def test_single_party_rejected(self):
+        with pytest.raises(SecretSharingError):
+            AdditiveSecretSharer().share(1, parties=1)
+
+    def test_empty_reconstruct_rejected(self):
+        with pytest.raises(SecretSharingError):
+            AdditiveSecretSharer().reconstruct([])
+
+    def test_modulus_mismatch_rejected(self):
+        sharer = AdditiveSecretSharer(modulus=1 << 32)
+        foreign = AdditiveShare(1, 1 << 16)
+        with pytest.raises(SecretSharingError):
+            sharer.reconstruct([foreign, foreign])
+
+    def test_partial_shares_look_random(self):
+        # Any strict subset reconstructs to something unrelated.
+        sharer = AdditiveSecretSharer(rng=fresh_rng(42))
+        shares = sharer.share(123456789, parties=3)
+        partial = sum(s.value for s in shares[:2]) % sharer.modulus
+        assert partial != 123456789
+
+    def test_share_arithmetic(self):
+        modulus = 1 << 32
+        a = AdditiveShare(10, modulus)
+        b = AdditiveShare(5, modulus)
+        assert (a + b).value == 15
+        assert (a - b).value == 5
+        assert (a * 3).value == 30
+        assert (3 * a).value == 30
+        assert (a + 7).value == 17
+        assert (a - 12).value == (10 - 12) % modulus
+
+    def test_linearity_of_shares(self):
+        sharer = AdditiveSecretSharer(rng=fresh_rng(7))
+        xs = sharer.share(20)
+        ys = sharer.share(22)
+        combined = [x + y for x, y in zip(xs, ys)]
+        assert sharer.reconstruct(combined) == 42
+
+    def test_share_vector(self):
+        sharer = AdditiveSecretSharer(rng=fresh_rng(8))
+        per_party = share_vector([1, -2, 3], sharer, parties=2)
+        assert len(per_party) == 2
+        for position, expected in enumerate([1, -2, 3]):
+            assert (
+                sharer.reconstruct([per_party[0][position], per_party[1][position]])
+                == expected
+            )
+
+
+class TestShamirSharing:
+    @given(st.integers(0, PRIME - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, secret):
+        sharer = ShamirSecretSharer(
+            prime=PRIME, threshold=3, parties=5, rng=fresh_rng(secret & 0xFFFF)
+        )
+        shares = sharer.share(secret)
+        assert sharer.reconstruct(shares[:3]) == secret
+        assert sharer.reconstruct(shares[2:]) == secret
+
+    def test_any_threshold_subset_works(self):
+        sharer = ShamirSecretSharer(prime=PRIME, threshold=2, parties=4,
+                                    rng=fresh_rng(1))
+        shares = sharer.share(777)
+        import itertools
+
+        for subset in itertools.combinations(shares, 2):
+            assert sharer.reconstruct(list(subset)) == 777
+
+    def test_below_threshold_rejected(self):
+        sharer = ShamirSecretSharer(prime=PRIME, threshold=3, parties=5,
+                                    rng=fresh_rng(2))
+        shares = sharer.share(1)
+        with pytest.raises(SecretSharingError):
+            sharer.reconstruct(shares[:2])
+
+    def test_composite_prime_rejected(self):
+        with pytest.raises(SecretSharingError):
+            ShamirSecretSharer(prime=100, threshold=2, parties=3)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(SecretSharingError):
+            ShamirSecretSharer(prime=PRIME, threshold=6, parties=5)
+
+    def test_field_too_small_rejected(self):
+        with pytest.raises(SecretSharingError):
+            ShamirSecretSharer(prime=5, threshold=2, parties=7)
+
+    def test_secret_reduced_mod_prime(self):
+        sharer = ShamirSecretSharer(prime=101, threshold=2, parties=3,
+                                    rng=fresh_rng(3))
+        shares = sharer.share(205)  # = 3 mod 101
+        assert sharer.reconstruct(shares[:2]) == 3

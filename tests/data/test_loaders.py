@@ -1,0 +1,88 @@
+"""Tests for CSV dataset import/export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import LoaderError, load_dataset_csv, save_dataset_csv
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, warfarin, tmp_path):
+        path = str(tmp_path / "cohort.csv")
+        save_dataset_csv(warfarin, path)
+        loaded = load_dataset_csv(path)
+        assert loaded.name == warfarin.name
+        assert np.array_equal(loaded.X, warfarin.X)
+        assert np.array_equal(loaded.y, warfarin.y)
+        assert loaded.feature_names == warfarin.feature_names
+        assert loaded.sensitive_indices == warfarin.sensitive_indices
+        assert loaded.public_indices == warfarin.public_indices
+        assert loaded.label_name == warfarin.label_name
+
+    def test_name_override(self, cancer, tmp_path):
+        path = str(tmp_path / "c.csv")
+        save_dataset_csv(cancer, path)
+        loaded = load_dataset_csv(path, name="renamed")
+        assert loaded.name == "renamed"
+
+    def test_loaded_dataset_trains(self, cancer, tmp_path):
+        from repro.classifiers import NaiveBayesClassifier
+
+        path = str(tmp_path / "c.csv")
+        save_dataset_csv(cancer, path)
+        loaded = load_dataset_csv(path)
+        model = NaiveBayesClassifier(domain_sizes=loaded.domain_sizes)
+        model.fit(loaded.X, loaded.y)  # does not raise
+
+
+class TestValidation:
+    def _write(self, tmp_path, csv_text, schema):
+        path = tmp_path / "bad.csv"
+        path.write_text(csv_text)
+        (tmp_path / "bad.csv.schema.json").write_text(json.dumps(schema))
+        return str(path)
+
+    def _schema(self):
+        return {
+            "name": "bad",
+            "label_name": "y",
+            "features": [{"name": "a", "domain_size": 2}],
+        }
+
+    def test_missing_schema_rejected(self, tmp_path):
+        path = tmp_path / "orphan.csv"
+        path.write_text("a,y\n0,0\n")
+        with pytest.raises(LoaderError, match="schema"):
+            load_dataset_csv(str(path))
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = self._write(tmp_path, "wrong,y\n0,0\n", self._schema())
+        with pytest.raises(LoaderError, match="header"):
+            load_dataset_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = self._write(tmp_path, "a,y\n0\n", self._schema())
+        with pytest.raises(LoaderError, match="cells"):
+            load_dataset_csv(path)
+
+    def test_non_integer_cell_rejected(self, tmp_path):
+        path = self._write(tmp_path, "a,y\nx,0\n", self._schema())
+        with pytest.raises(LoaderError, match="non-integer"):
+            load_dataset_csv(path)
+
+    def test_out_of_domain_code_rejected(self, tmp_path):
+        path = self._write(tmp_path, "a,y\n7,0\n", self._schema())
+        with pytest.raises(LoaderError, match="schema"):
+            load_dataset_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self._write(tmp_path, "", self._schema())
+        with pytest.raises(LoaderError, match="empty"):
+            load_dataset_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = self._write(tmp_path, "a,y\n", self._schema())
+        with pytest.raises(LoaderError, match="no data"):
+            load_dataset_csv(path)

@@ -1,0 +1,49 @@
+"""Tests for dataset splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import SplitError, k_fold_indices, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, warfarin):
+        train, test = train_test_split(warfarin, test_fraction=0.25, seed=0)
+        assert test.n_samples == 500
+        assert train.n_samples == 1500
+
+    def test_disjoint_and_complete(self, warfarin):
+        train, test = train_test_split(warfarin, seed=1)
+        combined = np.concatenate([train.y, test.y])
+        assert len(combined) == warfarin.n_samples
+
+    def test_deterministic(self, warfarin):
+        a_train, _ = train_test_split(warfarin, seed=3)
+        b_train, _ = train_test_split(warfarin, seed=3)
+        assert np.array_equal(a_train.X, b_train.X)
+
+    def test_bad_fraction_rejected(self, warfarin):
+        with pytest.raises(SplitError):
+            train_test_split(warfarin, test_fraction=0.0)
+        with pytest.raises(SplitError):
+            train_test_split(warfarin, test_fraction=1.0)
+
+
+class TestKFold:
+    def test_covers_everything_once(self):
+        seen = np.zeros(100, dtype=int)
+        for train, test in k_fold_indices(100, n_folds=5, seed=0):
+            seen[test] += 1
+            assert len(set(train) & set(test)) == 0
+            assert len(train) + len(test) == 100
+        assert (seen == 1).all()
+
+    def test_fold_count(self):
+        folds = list(k_fold_indices(50, n_folds=5))
+        assert len(folds) == 5
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SplitError):
+            list(k_fold_indices(10, n_folds=1))
+        with pytest.raises(SplitError):
+            list(k_fold_indices(3, n_folds=5))

@@ -1,0 +1,70 @@
+"""Tests for the UCI-style generators."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import NaiveBayesClassifier, accuracy
+from repro.data import generate_adult_like, generate_cancer_like, train_test_split
+
+
+class TestAdultLike:
+    def test_schema(self, adult):
+        assert adult.n_features == 11
+        assert adult.n_classes == 2
+        sensitive_names = {adult.features[i].name for i in adult.sensitive_indices}
+        assert sensitive_names == {"marital_status", "health_coverage"}
+
+    def test_deterministic(self):
+        a = generate_adult_like(500, seed=9)
+        b = generate_adult_like(500, seed=9)
+        assert np.array_equal(a.X, b.X)
+
+    def test_learnable(self, adult):
+        train, test = train_test_split(adult, seed=0)
+        model = NaiveBayesClassifier(domain_sizes=adult.domain_sizes).fit(
+            train.X, train.y
+        )
+        assert accuracy(test.y, model.predict(test.X)) > 0.75
+
+    def test_label_imbalance_as_designed(self, adult):
+        # High earners are the top quartile by construction.
+        assert 0.2 < adult.y.mean() < 0.3
+
+    def test_marital_correlates_with_age(self, adult):
+        age = adult.X[:, adult.feature_index("age_bracket")]
+        marital = adult.X[:, adult.feature_index("marital_status")]
+        young_single = (marital[age == 0] == 0).mean()
+        old_single = (marital[age == 4] == 0).mean()
+        assert young_single > old_single + 0.3
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_adult_like(0)
+
+
+class TestCancerLike:
+    def test_schema(self, cancer):
+        assert cancer.n_features == 9
+        assert cancer.n_classes == 2
+
+    def test_learnable(self, cancer):
+        train, test = train_test_split(cancer, seed=0)
+        model = NaiveBayesClassifier(domain_sizes=cancer.domain_sizes).fit(
+            train.X, train.y
+        )
+        assert accuracy(test.y, model.predict(test.X)) > 0.85
+
+    def test_features_intercorrelated(self, cancer):
+        # The latent-severity construction makes cytology features
+        # strongly correlated -- like the real Wisconsin data.
+        corr = np.corrcoef(cancer.X[:, 0], cancer.X[:, 1])[0, 1]
+        assert corr > 0.5
+
+    def test_deterministic(self):
+        a = generate_cancer_like(300, seed=4)
+        b = generate_cancer_like(300, seed=4)
+        assert np.array_equal(a.X, b.X)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_cancer_like(-5)

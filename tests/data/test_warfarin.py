@@ -1,0 +1,79 @@
+"""Tests for the warfarin-like cohort generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.warfarin import (
+    RACES,
+    dose_bucket_names,
+    generate_warfarin,
+)
+
+
+class TestStructure:
+    def test_shape_and_schema(self, warfarin):
+        assert warfarin.n_samples == 2000
+        assert warfarin.n_features == 12
+        assert warfarin.feature_names[:2] == ["race", "age_decade"]
+        assert {warfarin.features[i].name for i in warfarin.sensitive_indices} == {
+            "vkorc1", "cyp2c9",
+        }
+
+    def test_three_dose_classes(self):
+        ds = generate_warfarin(n_samples=4000, seed=0)
+        assert set(np.unique(ds.y)) == {0, 1, 2}
+
+    def test_deterministic(self):
+        a = generate_warfarin(n_samples=200, seed=5)
+        b = generate_warfarin(n_samples=200, seed=5)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_seeds_differ(self):
+        a = generate_warfarin(n_samples=200, seed=1)
+        b = generate_warfarin(n_samples=200, seed=2)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_warfarin(n_samples=0)
+
+    def test_bucket_names(self):
+        names = dose_bucket_names()
+        assert len(names) == 3
+        assert "low" in names[0]
+
+
+class TestCorrelationStructure:
+    """The attack surface: genotype must correlate with demographics and
+    with the dose label, as in the real IWPC data."""
+
+    def test_vkorc1_varies_by_race(self, warfarin):
+        race = warfarin.X[:, warfarin.feature_index("race")]
+        vkorc1 = warfarin.X[:, warfarin.feature_index("vkorc1")]
+        asian = vkorc1[race == RACES.index("asian")].mean()
+        black = vkorc1[race == RACES.index("black")].mean()
+        # Asians carry far more A alleles than African-ancestry patients.
+        assert asian > black + 1.0
+
+    def test_vkorc1_correlates_with_dose(self, warfarin):
+        vkorc1 = warfarin.X[:, warfarin.feature_index("vkorc1")]
+        # AA genotype should concentrate in the low-dose class.
+        low_rate_aa = (warfarin.y[vkorc1 == 2] == 0).mean()
+        low_rate_gg = (warfarin.y[vkorc1 == 0] == 0).mean()
+        assert low_rate_aa > low_rate_gg + 0.2
+
+    def test_hardy_weinberg_roughly_holds_for_whites(self):
+        ds = generate_warfarin(n_samples=20000, seed=3)
+        race = ds.X[:, ds.feature_index("race")]
+        vkorc1 = ds.X[:, ds.feature_index("vkorc1")]
+        whites = vkorc1[race == RACES.index("white")]
+        het_fraction = (whites == 1).mean()
+        assert het_fraction == pytest.approx(2 * 0.4 * 0.6, abs=0.03)
+
+    def test_label_depends_on_demographics_too(self, warfarin):
+        age = warfarin.X[:, warfarin.feature_index("age_decade")]
+        # Older patients need lower doses (negative age coefficient).
+        old_low = (warfarin.y[age >= 6] == 0).mean()
+        young_low = (warfarin.y[age <= 2] == 0).mean()
+        assert old_low > young_low

@@ -1,0 +1,141 @@
+"""Cross-cutting property-based invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import DecisionTreeClassifier, NaiveBayesClassifier
+from repro.secure import SecureDecisionTreeClassifier, SecureNaiveBayesClassifier
+
+
+@pytest.fixture(scope="module")
+def tree_setup(warfarin_split):
+    train, test = warfarin_split
+    model = DecisionTreeClassifier(max_depth=5).fit(train.X, train.y)
+    secure = SecureDecisionTreeClassifier(model, train.features)
+    return secure, test
+
+
+@pytest.fixture(scope="module")
+def nb_setup(warfarin_split):
+    train, test = warfarin_split
+    model = NaiveBayesClassifier(domain_sizes=train.domain_sizes).fit(
+        train.X, train.y
+    )
+    secure = SecureNaiveBayesClassifier(model, train.features)
+    return secure, test
+
+
+class TestPruningInvariants:
+    """Disclosure pruning must never change the tree's decision."""
+
+    @given(
+        row_index=st.integers(0, 99),
+        disclosure_mask=st.integers(0, (1 << 12) - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pruned_tree_decision_invariant(
+        self, tree_setup, row_index, disclosure_mask
+    ):
+        secure, test = tree_setup
+        row = test.X[row_index]
+        disclosed = [i for i in range(12) if (disclosure_mask >> i) & 1]
+        residual = secure.pruned_tree(row, disclosed)
+
+        # Walking the residual tree with the full row reaches the same
+        # label as walking the original tree.
+        node = residual
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            node = (
+                node.left if row[node.feature] <= node.threshold else node.right
+            )
+        assert node.label == secure.model.predict_one(row)
+
+    @given(disclosure_mask=st.integers(0, (1 << 12) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_pruning_never_grows(self, tree_setup, disclosure_mask):
+        secure, test = tree_setup
+        disclosed = [i for i in range(12) if (disclosure_mask >> i) & 1]
+        residual = secure.pruned_tree(test.X[0], disclosed)
+        assert residual.count_internal() <= secure.model.root.count_internal()
+        assert residual.depth() <= secure.model.root.depth()
+
+
+class TestScoreInvariants:
+    """Quantised scores decompose exactly into disclosed + hidden parts."""
+
+    @given(
+        row_index=st.integers(0, 99),
+        disclosure_mask=st.integers(0, (1 << 12) - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nb_offset_decomposition(self, nb_setup, row_index, disclosure_mask):
+        secure, test = nb_setup
+        row = test.X[row_index]
+        disclosed = [i for i in range(12) if (disclosure_mask >> i) & 1]
+        hidden = [i for i in range(12) if i not in disclosed]
+
+        full_scores = secure.quantized_scores(row)
+        for c in range(len(secure.classes)):
+            offset = secure.int_priors[c] + sum(
+                secure.int_tables[f][c][int(row[f])] for f in disclosed
+            )
+            hidden_part = sum(
+                secure.int_tables[f][c][int(row[f])] for f in hidden
+            )
+            assert offset + hidden_part == full_scores[c]
+
+
+class TestEstimatedTraceInvariants:
+    """Analytic traces behave sanely for arbitrary disclosure sets."""
+
+    @given(disclosure_mask=st.integers(0, (1 << 12) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_fields_non_negative(self, nb_setup, disclosure_mask):
+        secure, _ = nb_setup
+        disclosed = [i for i in range(12) if (disclosure_mask >> i) & 1]
+        trace = secure.estimated_trace(disclosed)
+        assert trace.total_bytes >= 0
+        assert trace.rounds >= 1
+        assert all(count >= 0 for count in trace.ops.values())
+
+    @given(disclosure_mask=st.integers(0, (1 << 12) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_subset_disclosure_costs_no_less(self, nb_setup, disclosure_mask):
+        # Disclosing strictly more never increases the modeled traffic.
+        secure, _ = nb_setup
+        disclosed = [i for i in range(12) if (disclosure_mask >> i) & 1]
+        fuller = sorted(set(disclosed) | {0})
+        partial_bytes = secure.estimated_trace(disclosed).total_bytes
+        fuller_bytes = secure.estimated_trace(fuller).total_bytes
+        if 0 in disclosed:
+            assert fuller_bytes == partial_bytes
+        else:
+            # Adding one disclosure trades ciphertexts for ~5 plaintext
+            # bytes; allow that envelope.
+            assert fuller_bytes <= partial_bytes + 16
+
+
+class TestRiskInvariants:
+    @given(
+        mask_a=st.integers(0, (1 << 10) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_risk_bounded_and_deterministic(self, warfarin, mask_a):
+        from repro.privacy import IncrementalRiskEvaluator, NaiveBayesAdversary
+
+        adversary = NaiveBayesAdversary(
+            warfarin.X, warfarin.domain_sizes, warfarin.sensitive_indices
+        )
+        evaluator = IncrementalRiskEvaluator(
+            adversary, warfarin.X[:100], warfarin.sensitive_indices
+        )
+        columns = [
+            i for i in range(10) if (mask_a >> i) & 1
+        ]
+        first = evaluator.risk_of_set(columns)
+        second = evaluator.risk_of_set(columns)
+        assert first == second
+        assert 0.0 <= first <= 1.0

@@ -1,0 +1,97 @@
+"""Tests for Chow-Liu tree learning and inference."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.bayesnet import BayesNetError, ChowLiuTree
+from repro.privacy.distribution import EmpiricalJoint
+
+
+def _chain_data(n=4000, seed=0):
+    """x0 -> x1 -> x2 chain with strong links; x3 independent."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.integers(0, 2, n)
+    x1 = np.where(rng.random(n) < 0.85, x0, 1 - x0)
+    x2 = np.where(rng.random(n) < 0.85, x1, 1 - x1)
+    x3 = rng.integers(0, 2, n)
+    return np.column_stack([x0, x1, x2, x3])
+
+
+class TestStructureLearning:
+    def test_recovers_chain_edges(self):
+        tree = ChowLiuTree.fit(_chain_data(), [2, 2, 2, 2])
+        edges = {tuple(sorted(e)) for e in tree.edges}
+        assert (0, 1) in edges
+        assert (1, 2) in edges
+        # The independent variable attaches somewhere, but never breaks
+        # the chain: exactly n-1 = 3 edges.
+        assert len(edges) == 3
+
+    def test_single_variable(self):
+        tree = ChowLiuTree.fit(np.zeros((10, 1), dtype=int), [2])
+        assert tree.edges == []
+        posterior = tree.posterior(0)
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(BayesNetError):
+            ChowLiuTree.fit(_chain_data(), [2, 2])
+
+
+class TestInference:
+    def test_posterior_no_evidence_is_marginal(self):
+        data = _chain_data()
+        tree = ChowLiuTree.fit(data, [2, 2, 2, 2])
+        posterior = tree.posterior(0)
+        empirical = np.bincount(data[:, 0]) / len(data)
+        assert np.allclose(posterior, empirical, atol=0.02)
+
+    def test_evidence_shifts_neighbour(self):
+        tree = ChowLiuTree.fit(_chain_data(), [2, 2, 2, 2])
+        posterior = tree.posterior(1, {0: 1})
+        assert posterior[1] > 0.8
+
+    def test_evidence_propagates_two_hops(self):
+        tree = ChowLiuTree.fit(_chain_data(), [2, 2, 2, 2])
+        one_hop = tree.posterior(2, {1: 1})[1]
+        two_hop = tree.posterior(2, {0: 1})[1]
+        no_evidence = tree.posterior(2)[1]
+        assert one_hop > two_hop > no_evidence
+
+    def test_independent_variable_unaffected(self):
+        tree = ChowLiuTree.fit(_chain_data(), [2, 2, 2, 2])
+        base = tree.posterior(3)
+        shifted = tree.posterior(3, {0: 1, 1: 1})
+        assert np.allclose(base, shifted, atol=0.05)
+
+    def test_matches_exact_joint_on_pair(self):
+        data = _chain_data()
+        tree = ChowLiuTree.fit(data, [2, 2, 2, 2], alpha=0.5)
+        exact = EmpiricalJoint.from_data(data, [0, 1], [2, 2], alpha=0.5)
+        tree_posterior = tree.posterior(1, {0: 0})
+        exact_posterior = exact.condition({0: 0}).table
+        assert np.allclose(tree_posterior, exact_posterior, atol=0.02)
+
+    def test_bad_queries_rejected(self):
+        tree = ChowLiuTree.fit(_chain_data(), [2, 2, 2, 2])
+        with pytest.raises(BayesNetError):
+            tree.posterior(9)
+        with pytest.raises(BayesNetError):
+            tree.posterior(0, {0: 1})
+        with pytest.raises(BayesNetError):
+            tree.posterior(0, {1: 5})
+        with pytest.raises(BayesNetError):
+            tree.posterior(0, {9: 0})
+
+
+class TestLikelihood:
+    def test_model_beats_independence_on_correlated_data(self):
+        data = _chain_data()
+        tree = ChowLiuTree.fit(data, [2, 2, 2, 2])
+        tree_ll = tree.log_likelihood(data[:500])
+        # Independence model log-likelihood.
+        independent = 0.0
+        for column in range(4):
+            probs = np.bincount(data[:, column], minlength=2) / len(data)
+            independent += np.log(probs[data[:500, column]]).mean()
+        assert tree_ll > independent

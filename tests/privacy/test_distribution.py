@@ -1,0 +1,122 @@
+"""Tests for empirical joint distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.distribution import (
+    DistributionError,
+    EmpiricalJoint,
+    pairwise_mutual_information,
+)
+
+
+def _xy_data(n=2000, seed=0):
+    """Two correlated binary columns plus an independent one."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, n)
+    y = np.where(rng.random(n) < 0.9, x, 1 - x)  # y ~ x with 10% flips
+    z = rng.integers(0, 3, n)
+    return np.column_stack([x, y, z])
+
+
+class TestFromData:
+    def test_normalised(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2])
+        assert joint.table.sum() == pytest.approx(1.0)
+
+    def test_reflects_correlation(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2], alpha=0.0)
+        agree = joint.table[0, 0] + joint.table[1, 1]
+        assert agree > 0.85
+
+    def test_smoothing_avoids_zeros(self):
+        data = np.array([[0, 0]] * 10)
+        joint = EmpiricalJoint.from_data(data, [0, 1], [2, 2], alpha=1.0)
+        assert (joint.table > 0).all()
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalJoint.from_data(_xy_data(), [0], [2], alpha=-1)
+
+    def test_column_domain_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalJoint.from_data(_xy_data(), [0, 1], [2])
+
+
+class TestMarginalCondition:
+    def test_marginal_sums_rows(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2])
+        marginal = joint.marginal([0])
+        assert marginal.table.shape == (2,)
+        assert marginal.table.sum() == pytest.approx(1.0)
+
+    def test_marginal_reorders_axes(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 2], [2, 3])
+        flipped = joint.marginal([2, 0])
+        assert flipped.table.shape == (3, 2)
+        assert np.allclose(flipped.table, joint.table.T)
+
+    def test_condition_shifts_belief(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2])
+        conditioned = joint.condition({0: 1})
+        assert conditioned.column_indices == [1]
+        assert conditioned.table[1] > 0.8  # y follows x
+
+    def test_condition_bad_value_rejected(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2])
+        with pytest.raises(DistributionError):
+            joint.condition({0: 7})
+
+    def test_condition_unknown_column_rejected(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2])
+        with pytest.raises(DistributionError):
+            joint.condition({5: 0})
+
+    def test_probability_full_assignment(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2])
+        total = sum(
+            joint.probability({0: a, 1: b}) for a in range(2) for b in range(2)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestInformation:
+    def test_entropy_of_uniform(self):
+        table = np.full((2, 2), 0.25)
+        joint = EmpiricalJoint(table, [0, 1])
+        assert joint.entropy() == pytest.approx(2.0)
+
+    def test_mutual_information_positive_for_dependence(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 1], [2, 2])
+        assert joint.mutual_information(0, 1) > 0.3
+
+    def test_mutual_information_near_zero_for_independence(self):
+        joint = EmpiricalJoint.from_data(_xy_data(), [0, 2], [2, 3])
+        assert joint.mutual_information(0, 2) < 0.01
+
+    def test_pairwise_matrix(self):
+        data = _xy_data()
+        matrix = pairwise_mutual_information(data, [2, 2, 3])
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] == matrix[1, 0]
+        assert matrix[0, 1] > matrix[0, 2]
+
+    def test_pairwise_shape_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            pairwise_mutual_information(_xy_data(), [2, 2])
+
+
+class TestConstruction:
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalJoint(np.full((2, 2), 0.25), [0])
+
+    def test_unnormalised_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalJoint(np.full((2,), 0.7), [0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalJoint(np.array([1.5, -0.5]), [0])

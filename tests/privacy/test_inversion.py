@@ -1,0 +1,101 @@
+"""Tests for the model-inversion attack simulation."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import LogisticRegressionClassifier
+from repro.privacy.inversion import (
+    MODEL_OUTPUT_FEATURE,
+    InversionError,
+    ModelInversionAttack,
+    augment_with_model_output,
+)
+
+
+@pytest.fixture(scope="module")
+def augmented(warfarin):
+    model = LogisticRegressionClassifier(iterations=120).fit(
+        warfarin.X, warfarin.y
+    )
+    return augment_with_model_output(warfarin, model)
+
+
+@pytest.fixture(scope="module")
+def attack(augmented):
+    return ModelInversionAttack(augmented)
+
+
+class TestAugmentation:
+    def test_output_column_appended(self, warfarin, augmented):
+        assert augmented.n_features == warfarin.n_features + 1
+        assert augmented.features[-1].name == MODEL_OUTPUT_FEATURE
+        assert augmented.name.endswith("+output")
+
+    def test_original_columns_untouched(self, warfarin, augmented):
+        assert np.array_equal(augmented.X[:, :-1], warfarin.X)
+        assert np.array_equal(augmented.y, warfarin.y)
+
+    def test_output_codes_in_domain(self, augmented):
+        column = augmented.X[:, -1]
+        assert column.min() >= 0
+        assert column.max() < augmented.features[-1].domain_size
+
+
+class TestAttack:
+    def test_prior_only_matches_mode_guess(self, augmented, attack):
+        vkorc1 = augmented.feature_index("vkorc1")
+        report = attack.run(augmented.X[:300], vkorc1, [])
+        assert report.attack_accuracy == pytest.approx(report.prior_accuracy)
+        assert report.advantage == pytest.approx(0.0)
+
+    def test_demographics_improve_attack(self, augmented, attack):
+        vkorc1 = augmented.feature_index("vkorc1")
+        race = augmented.feature_index("race")
+        report = attack.run(augmented.X[:300], vkorc1, [race])
+        assert report.advantage > 0.1  # race strongly predicts VKORC1
+
+    def test_model_output_adds_signal(self, augmented, attack):
+        vkorc1 = augmented.feature_index("vkorc1")
+        demographics = [
+            augmented.feature_index(name)
+            for name in ("race", "age_decade", "weight_bin", "gender")
+        ]
+        reports = attack.escalation_curve(
+            augmented.X[:300], vkorc1, demographics
+        )
+        assert len(reports) == 3
+        prior, demo, full = reports
+        assert prior.advantage == pytest.approx(0.0)
+        assert demo.advantage > 0.1
+        assert full.attack_accuracy >= demo.attack_accuracy
+        assert full.uses_model_output
+        assert not demo.uses_model_output
+
+    def test_report_names_resolved(self, augmented, attack):
+        vkorc1 = augmented.feature_index("vkorc1")
+        race = augmented.feature_index("race")
+        report = attack.run(augmented.X[:100], vkorc1, [race])
+        assert report.target_name == "vkorc1"
+        assert report.known_columns == ["race"]
+
+
+class TestValidation:
+    def test_non_target_rejected(self, augmented, attack):
+        race = augmented.feature_index("race")
+        with pytest.raises(InversionError):
+            attack.run(augmented.X[:10], race, [])
+
+    def test_target_in_known_rejected(self, augmented, attack):
+        vkorc1 = augmented.feature_index("vkorc1")
+        with pytest.raises(InversionError):
+            attack.run(augmented.X[:10], vkorc1, [vkorc1])
+
+    def test_escalation_requires_output_column(self, warfarin):
+        attack = ModelInversionAttack(warfarin)
+        vkorc1 = warfarin.feature_index("vkorc1")
+        with pytest.raises(InversionError, match="model_output"):
+            attack.escalation_curve(warfarin.X[:10], vkorc1, [0])
+
+    def test_no_sensitive_columns_rejected(self, warfarin):
+        with pytest.raises(InversionError):
+            ModelInversionAttack(warfarin, sensitive_columns=[])

@@ -1,0 +1,168 @@
+"""Tests for the randomized-response noisy-disclosure extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.adversary import NaiveBayesAdversary
+from repro.privacy.randomized_response import (
+    NoisyDisclosureAdversary,
+    RandomizedResponseError,
+    accuracy_under_noise,
+    epsilon_of_channel,
+    perturb_column,
+    perturb_rows,
+    randomized_response_channel,
+)
+from repro.privacy.risk import RiskModel
+
+
+class TestChannel:
+    def test_rows_are_distributions(self):
+        channel = randomized_response_channel(4, 0.7)
+        assert np.allclose(channel.sum(axis=1), 1.0)
+        assert (channel >= 0).all()
+
+    def test_keep_one_is_identity(self):
+        assert np.allclose(randomized_response_channel(3, 1.0), np.eye(3))
+
+    def test_keep_zero_is_uniform(self):
+        channel = randomized_response_channel(4, 0.0)
+        assert np.allclose(channel, 0.25)
+
+    def test_diagonal_dominates(self):
+        channel = randomized_response_channel(5, 0.6)
+        for v in range(5):
+            assert channel[v, v] > channel[v, (v + 1) % 5]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(RandomizedResponseError):
+            randomized_response_channel(1, 0.5)
+        with pytest.raises(RandomizedResponseError):
+            randomized_response_channel(3, 1.5)
+
+    def test_epsilon_values(self):
+        assert epsilon_of_channel(2, 1.0) == math.inf
+        assert epsilon_of_channel(2, 0.0) == pytest.approx(0.0)
+        # keep=0.5, D=2: truthful 0.75, lying 0.25 -> ln 3.
+        assert epsilon_of_channel(2, 0.5) == pytest.approx(math.log(3))
+
+    def test_epsilon_monotone_in_keep(self):
+        values = [epsilon_of_channel(4, k) for k in (0.2, 0.5, 0.8)]
+        assert values == sorted(values)
+
+
+class TestPerturbation:
+    def test_identity_channel_is_noiseless(self):
+        rng = np.random.default_rng(0)
+        column = np.array([0, 1, 2, 3, 2, 1])
+        channel = randomized_response_channel(4, 1.0)
+        assert np.array_equal(perturb_column(column, channel, rng), column)
+
+    def test_reports_stay_in_domain(self):
+        rng = np.random.default_rng(1)
+        column = np.random.default_rng(2).integers(0, 4, 500)
+        reports = perturb_column(
+            column, randomized_response_channel(4, 0.3), rng
+        )
+        assert reports.min() >= 0 and reports.max() < 4
+
+    def test_empirical_keep_rate(self):
+        rng = np.random.default_rng(3)
+        column = np.zeros(20000, dtype=np.int64)
+        channel = randomized_response_channel(4, 0.6)
+        reports = perturb_column(column, channel, rng)
+        # P(report 0 | true 0) = 0.6 + 0.1 = 0.7.
+        assert (reports == 0).mean() == pytest.approx(0.7, abs=0.02)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(RandomizedResponseError):
+            perturb_column(
+                np.array([5]), randomized_response_channel(4, 0.5),
+                np.random.default_rng(0),
+            )
+
+    def test_perturb_rows_touches_only_listed_columns(self):
+        rng = np.random.default_rng(4)
+        rows = np.random.default_rng(5).integers(0, 3, (200, 4))
+        channels = {1: randomized_response_channel(3, 0.2)}
+        noisy = perturb_rows(rows, channels, rng)
+        assert np.array_equal(noisy[:, [0, 2, 3]], rows[:, [0, 2, 3]])
+        assert not np.array_equal(noisy[:, 1], rows[:, 1])
+
+
+class TestNoisyAdversary:
+    @pytest.fixture(scope="class")
+    def base(self, warfarin):
+        return NaiveBayesAdversary(
+            warfarin.X, warfarin.domain_sizes, warfarin.sensitive_indices
+        )
+
+    def test_noise_reduces_risk(self, warfarin, base):
+        race = warfarin.feature_index("race")
+        rng = np.random.default_rng(6)
+        exact_model = RiskModel(
+            adversary=base, evaluation_rows=warfarin.X[:300],
+            sensitive_columns=warfarin.sensitive_indices,
+        )
+        exact_risk = exact_model.risk([race])
+
+        channel = randomized_response_channel(4, 0.3)
+        noisy_adv = NoisyDisclosureAdversary(base, {race: channel})
+        noisy_rows = perturb_rows(warfarin.X[:300], {race: channel}, rng)
+        noisy_model = RiskModel(
+            adversary=noisy_adv, evaluation_rows=noisy_rows,
+            sensitive_columns=warfarin.sensitive_indices,
+        )
+        assert noisy_model.risk([race]) < exact_risk
+
+    def test_identity_channel_matches_base(self, warfarin, base):
+        race = warfarin.feature_index("race")
+        vkorc1 = warfarin.feature_index("vkorc1")
+        identity = randomized_response_channel(4, 1.0)
+        noisy = NoisyDisclosureAdversary(base, {race: identity})
+        assert np.allclose(
+            noisy.posterior(vkorc1, {race: 1}),
+            base.posterior(vkorc1, {race: 1}),
+        )
+
+    def test_noisy_self_disclosure_not_point_mass(self, warfarin, base):
+        vkorc1 = warfarin.feature_index("vkorc1")
+        channel = randomized_response_channel(3, 0.5)
+        noisy = NoisyDisclosureAdversary(base, {vkorc1: channel})
+        posterior = noisy.posterior(vkorc1, {vkorc1: 2})
+        assert posterior.max() < 1.0
+        assert posterior.sum() == pytest.approx(1.0)
+        # Still informative: the reported value is the most likely.
+        base_prior = base.prior(vkorc1)
+        assert posterior[2] > base_prior[2]
+
+    def test_shape_mismatch_rejected(self, warfarin, base):
+        with pytest.raises(RandomizedResponseError):
+            NoisyDisclosureAdversary(
+                base, {0: randomized_response_channel(3, 0.5)}
+            )  # race has domain 4
+
+
+class TestUtilityCost:
+    def test_accuracy_degrades_gracefully(self, warfarin_split):
+        from repro.classifiers import NaiveBayesClassifier
+
+        train, test = warfarin_split
+        model = NaiveBayesClassifier(domain_sizes=train.domain_sizes).fit(
+            train.X, train.y
+        )
+        race = train.feature_index("race")
+        rng = np.random.default_rng(7)
+        clean = accuracy_under_noise(model, test.X, test.y, {}, rng)
+        noisy = accuracy_under_noise(
+            model, test.X, test.y,
+            {race: randomized_response_channel(4, 0.3)}, rng,
+        )
+        very_noisy = accuracy_under_noise(
+            model, test.X, test.y,
+            {race: randomized_response_channel(4, 0.0)}, rng,
+        )
+        assert clean >= noisy >= very_noisy - 0.05
+        assert very_noisy > 0.5  # other features still carry signal

@@ -1,0 +1,71 @@
+"""Tests for fixed-point encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.encoding import (
+    EncodingError,
+    FixedPointEncoder,
+    magnitude_bits,
+    score_bound,
+)
+
+
+class TestEncoder:
+    def test_roundtrip_error_bounded(self):
+        encoder = FixedPointEncoder(precision_bits=10)
+        for value in (0.0, 1.5, -2.25, 3.14159, -123.456):
+            assert abs(encoder.decode(encoder.encode(value)) - value) <= 2**-11
+
+    @given(st.floats(-1e6, 1e6, allow_nan=False))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, value):
+        encoder = FixedPointEncoder(precision_bits=12)
+        decoded = encoder.decode(encoder.encode(value))
+        assert abs(decoded - value) <= 2**-13 + 1e-9
+
+    def test_scale(self):
+        assert FixedPointEncoder(8).scale == 256
+        assert FixedPointEncoder(8).encode(1.0) == 256
+
+    def test_vector_and_matrix(self):
+        encoder = FixedPointEncoder(4)
+        assert encoder.encode_vector([1.0, -0.5]) == [16, -8]
+        assert encoder.encode_matrix(np.array([[1.0], [2.0]])) == [[16], [32]]
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(EncodingError):
+            FixedPointEncoder(0)
+        with pytest.raises(EncodingError):
+            FixedPointEncoder(64)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(EncodingError):
+            FixedPointEncoder().encode(float("nan"))
+        with pytest.raises(EncodingError):
+            FixedPointEncoder().encode(float("inf"))
+
+    def test_matrix_requires_2d(self):
+        with pytest.raises(EncodingError):
+            FixedPointEncoder().encode_matrix(np.zeros(3))
+
+
+class TestBounds:
+    def test_magnitude_bits(self):
+        assert magnitude_bits([0]) == 1
+        assert magnitude_bits([-5, 3]) == 3
+        assert magnitude_bits([255]) == 8
+        assert magnitude_bits([256]) == 9
+
+    def test_score_bound_covers_extremes(self):
+        rows = [[2, -3], [-1, 4]]
+        biases = [10, -20]
+        maxima = [5, 7]
+        bound = score_bound(rows, biases, maxima)
+        # Worst case: |−20| + 1*5 + 4*7 = 53.
+        assert bound == 53
+
+    def test_score_bound_never_zero(self):
+        assert score_bound([[0]], [0], [0]) == 1

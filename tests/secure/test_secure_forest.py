@@ -1,0 +1,103 @@
+"""Live-protocol tests for the secure random forest."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.forest import RandomForestClassifier
+from repro.secure.costing import ProtocolSizes
+from repro.secure.secure_forest import SecureRandomForestClassifier
+from repro.smc.protocol import Op
+
+TEST_SIZES = ProtocolSizes(paillier_bits=384, dgk_bits=192)
+
+
+@pytest.fixture(scope="module")
+def trained(warfarin_split):
+    train, test = warfarin_split
+    model = RandomForestClassifier(n_trees=7, max_depth=4, seed=0).fit(
+        train.X, train.y
+    )
+    marginals = [
+        np.bincount(train.X[:, f], minlength=spec.domain_size)
+        for f, spec in enumerate(train.features)
+    ]
+    secure = SecureRandomForestClassifier(
+        model, train.features, feature_marginals=marginals, sizes=TEST_SIZES
+    )
+    return secure, test
+
+
+def _assert_valid_vote(secure, row, label):
+    """The secure label must be a maximal-vote class (the secure argmax
+    resolves exact vote ties randomly, the plain reference takes the
+    first maximum)."""
+    counts = secure.model.vote_counts(row)
+    winner_position = secure.classes.index(label)
+    assert counts[winner_position] == counts.max()
+
+
+class TestParity:
+    def test_pure_smc(self, trained, session_context):
+        secure, test = trained
+        for row in test.X[:2]:
+            _assert_valid_vote(
+                secure, row, secure.classify(session_context, row)
+            )
+
+    def test_partial_disclosure(self, trained, session_context):
+        secure, test = trained
+        for row in test.X[:3]:
+            label = secure.classify(session_context, row, [0, 1, 2, 3, 4, 5])
+            _assert_valid_vote(secure, row, label)
+
+    def test_full_disclosure_fast_path(self, trained, session_context):
+        secure, test = trained
+        everything = list(range(secure.n_features))
+        for row in test.X[:5]:
+            label = secure.classify(session_context, row, everything)
+            _assert_valid_vote(secure, row, label)
+
+    def test_matches_plain_when_votes_unambiguous(self, trained,
+                                                  session_context):
+        secure, test = trained
+        checked = 0
+        for row in test.X[:12]:
+            counts = secure.model.vote_counts(row)
+            if (counts == counts.max()).sum() != 1:
+                continue  # tie: secure argmax may differ legitimately
+            label = secure.classify(session_context, row, [0, 1, 2])
+            assert label == secure.predict_quantized(row)
+            checked += 1
+            if checked == 3:
+                break
+        assert checked >= 1
+
+
+class TestCostStructure:
+    def test_batched_comparisons_constant_rounds(self, trained, fresh_context):
+        secure, test = trained
+        before = fresh_context.trace.rounds
+        secure.classify(fresh_context, test.X[0], [0, 1, 2])
+        rounds = fresh_context.trace.rounds - before
+        # disclosure + features + batch(4) + costs + onehots + argmax
+        # rounds stay small despite 7 trees of comparisons.
+        assert rounds < 30
+
+    def test_disclosure_shrinks_trace(self, trained):
+        secure, _ = trained
+        pure = secure.estimated_trace([])
+        partial = secure.estimated_trace(list(range(8)))
+        full = secure.estimated_trace(list(range(12)))
+        assert pure.total_bytes > partial.total_bytes > full.total_bytes
+
+    def test_estimated_vs_live_ballpark(self, trained, fresh_context):
+        secure, test = trained
+        estimated = secure.estimated_trace([0, 1, 2])
+        secure.classify(fresh_context, test.X[1], [0, 1, 2])
+        live = fresh_context.trace
+        assert estimated.total_bytes == pytest.approx(
+            live.total_bytes, rel=0.5
+        )
+        assert estimated.op_count(Op.DGK_ZERO_TEST) == pytest.approx(
+            live.op_count(Op.DGK_ZERO_TEST), rel=0.4, abs=10
+        )

@@ -1,0 +1,109 @@
+"""Live-protocol tests for the secure hyperplane classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.linear import LogisticRegressionClassifier
+from repro.secure.base import SecureClassificationError
+from repro.secure.secure_linear import SecureLinearClassifier
+from repro.secure.costing import ProtocolSizes
+from repro.smc.protocol import Op
+
+TEST_SIZES = ProtocolSizes(paillier_bits=384, dgk_bits=192)
+
+
+@pytest.fixture(scope="module")
+def trained(warfarin_split):
+    train, test = warfarin_split
+    model = LogisticRegressionClassifier(iterations=200).fit(train.X, train.y)
+    secure = SecureLinearClassifier(model, train.features, sizes=TEST_SIZES)
+    return secure, test
+
+
+class TestParity:
+    def test_pure_smc_matches_quantized(self, trained, session_context):
+        secure, test = trained
+        for row in test.X[:4]:
+            assert secure.classify(session_context, row) == \
+                secure.predict_quantized(row)
+
+    def test_partial_disclosure_matches(self, trained, session_context):
+        secure, test = trained
+        disclosure = [0, 1, 2, 3, 4]
+        for row in test.X[:4]:
+            assert secure.classify(session_context, row, disclosure) == \
+                secure.predict_quantized(row)
+
+    def test_full_disclosure_fast_path_matches(self, trained, session_context):
+        secure, test = trained
+        everything = list(range(secure.n_features))
+        for row in test.X[:6]:
+            assert secure.classify(session_context, row, everything) == \
+                secure.predict_quantized(row)
+
+    def test_quantized_close_to_float_model(self, trained):
+        secure, test = trained
+        agreements = sum(
+            secure.predict_quantized(row) == secure.model.predict_one(row)
+            for row in test.X[:100]
+        )
+        assert agreements >= 98  # fixed-point rounding may flip rare ties
+
+
+class TestCostStructure:
+    def test_disclosure_reduces_encryptions(self, trained, fresh_context):
+        secure, test = trained
+        row = test.X[0]
+        secure.classify(fresh_context, row)
+        full = fresh_context.trace.op_count(Op.PAILLIER_ENCRYPT)
+        secure.classify(fresh_context, row, list(range(8)))
+        partial = fresh_context.trace.op_count(Op.PAILLIER_ENCRYPT) - full
+        assert partial < full
+
+    def test_estimated_trace_monotone_in_disclosure(self, trained):
+        secure, _ = trained
+        costs = [
+            secure.estimated_trace(list(range(k))).total_bytes
+            for k in range(secure.n_features + 1)
+        ]
+        assert costs[0] > costs[-1]
+        assert costs[-1] < 100  # fast path: just two tiny messages
+
+    def test_validate_rejects_bad_index(self, trained, session_context):
+        secure, test = trained
+        with pytest.raises(SecureClassificationError):
+            secure.classify(session_context, test.X[0], [99])
+
+    def test_validate_rejects_bad_row(self, trained, session_context):
+        secure, _ = trained
+        with pytest.raises(SecureClassificationError):
+            secure.classify(session_context, np.zeros(3, dtype=int))
+
+
+class TestEstimatedVsLive:
+    """The analytic trace must track the live protocol's accounting."""
+
+    @pytest.mark.parametrize("n_disclosed", [0, 4, 8])
+    def test_op_counts_within_tolerance(self, trained, fresh_context, n_disclosed):
+        secure, test = trained
+        disclosure = list(range(n_disclosed))
+        estimated = secure.estimated_trace(disclosure)
+        secure.classify(fresh_context, test.X[1], disclosure)
+        live = fresh_context.trace
+        for op in (Op.PAILLIER_ENCRYPT, Op.DGK_ENCRYPT, Op.DGK_ZERO_TEST):
+            live_count = live.op_count(op)
+            estimated_count = estimated.op_count(op)
+            assert estimated_count == pytest.approx(live_count, rel=0.25, abs=3)
+
+    def test_traffic_within_tolerance(self, trained, fresh_context):
+        secure, test = trained
+        estimated = secure.estimated_trace([0, 1, 2])
+        secure.classify(fresh_context, test.X[2], [0, 1, 2])
+        live_bytes = fresh_context.trace.total_bytes
+        assert estimated.total_bytes == pytest.approx(live_bytes, rel=0.25)
+
+    def test_rounds_match(self, trained, fresh_context):
+        secure, test = trained
+        estimated = secure.estimated_trace([0, 1])
+        secure.classify(fresh_context, test.X[3], [0, 1])
+        assert estimated.rounds == fresh_context.trace.rounds

@@ -1,0 +1,94 @@
+"""Live-protocol tests for secure regression."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.regression import RidgeRegression
+from repro.data.warfarin import generate_warfarin_with_dose
+from repro.secure.base import SecureClassificationError
+from repro.secure.costing import ProtocolSizes
+from repro.secure.secure_regression import SecureRegression
+from repro.smc.protocol import Op
+
+TEST_SIZES = ProtocolSizes(paillier_bits=384, dgk_bits=192)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset, dose = generate_warfarin_with_dose(2000, seed=0)
+    model = RidgeRegression().fit(dataset.X[:1600], dose[:1600])
+    secure = SecureRegression(model, dataset.features, sizes=TEST_SIZES)
+    return secure, dataset.X[1600:]
+
+
+class TestParity:
+    def test_pure_smc_matches_quantized(self, trained, session_context):
+        secure, test_rows = trained
+        for row in test_rows[:4]:
+            live = secure.predict_secure(session_context, row)
+            assert live == pytest.approx(secure.quantized_prediction(row))
+
+    def test_partial_disclosure_matches(self, trained, session_context):
+        secure, test_rows = trained
+        for row in test_rows[:4]:
+            live = secure.predict_secure(session_context, row, [0, 1, 2, 9])
+            assert live == pytest.approx(secure.quantized_prediction(row))
+
+    def test_full_disclosure_fast_path(self, trained, session_context):
+        secure, test_rows = trained
+        everything = list(range(secure.n_features))
+        for row in test_rows[:4]:
+            live = secure.predict_secure(session_context, row, everything)
+            assert live == pytest.approx(secure.quantized_prediction(row))
+
+    def test_quantized_close_to_float(self, trained):
+        secure, test_rows = trained
+        for row in test_rows[:50]:
+            exact = secure.model.predict_one(row)
+            assert secure.quantized_prediction(row) == pytest.approx(
+                exact, abs=0.1
+            )
+
+
+class TestCostStructure:
+    def test_trace_shrinks_with_disclosure(self, trained):
+        secure, _ = trained
+        pure = secure.estimated_trace([])
+        partial = secure.estimated_trace(list(range(8)))
+        full = secure.estimated_trace(list(range(12)))
+        assert pure.total_bytes > partial.total_bytes > full.total_bytes
+        assert full.op_count(Op.PAILLIER_ENCRYPT) == 0
+
+    def test_estimated_matches_live(self, trained, fresh_context):
+        secure, test_rows = trained
+        estimated = secure.estimated_trace([0, 1])
+        secure.predict_secure(fresh_context, test_rows[0], [0, 1])
+        live = fresh_context.trace
+        assert estimated.op_count(Op.PAILLIER_ENCRYPT) == live.op_count(
+            Op.PAILLIER_ENCRYPT
+        )
+        assert estimated.total_bytes == pytest.approx(
+            live.total_bytes, rel=0.2
+        )
+        assert estimated.rounds == live.rounds
+
+    def test_regression_far_cheaper_than_classification(self, trained):
+        # No comparison/argmax phase: the encrypted dot product plus one
+        # returned ciphertext is the whole protocol.
+        secure, _ = trained
+        trace = secure.estimated_trace([])
+        assert trace.op_count(Op.DGK_ENCRYPT) == 0
+        assert trace.rounds <= 3
+
+
+class TestValidation:
+    def test_feature_count_mismatch_rejected(self, trained):
+        secure, _ = trained
+        wrong = RidgeRegression().fit(np.zeros((10, 3)), np.zeros(10))
+        with pytest.raises(SecureClassificationError):
+            SecureRegression(wrong, secure.features, sizes=TEST_SIZES)
+
+    def test_bad_row_rejected(self, trained, session_context):
+        secure, _ = trained
+        with pytest.raises(SecureClassificationError):
+            secure.predict_secure(session_context, np.zeros(2, dtype=int))

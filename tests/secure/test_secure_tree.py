@@ -1,0 +1,135 @@
+"""Live-protocol tests for the secure decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.decision_tree import DecisionTreeClassifier
+from repro.secure.base import SecureClassificationError
+from repro.secure.secure_tree import SecureDecisionTreeClassifier
+from repro.secure.costing import ProtocolSizes
+from repro.smc.protocol import Op
+
+TEST_SIZES = ProtocolSizes(paillier_bits=384, dgk_bits=192)
+
+
+@pytest.fixture(scope="module")
+def trained(warfarin_split):
+    train, test = warfarin_split
+    model = DecisionTreeClassifier(max_depth=5).fit(train.X, train.y)
+    marginals = [
+        np.bincount(train.X[:, f], minlength=spec.domain_size)
+        for f, spec in enumerate(train.features)
+    ]
+    secure = SecureDecisionTreeClassifier(
+        model, train.features, feature_marginals=marginals, sizes=TEST_SIZES
+    )
+    return secure, test
+
+
+class TestPruning:
+    def test_full_disclosure_prunes_to_leaf(self, trained):
+        secure, test = trained
+        residual = secure.pruned_tree(test.X[0], range(secure.n_features))
+        assert residual.is_leaf
+        assert residual.label == secure.model.predict_one(test.X[0])
+
+    def test_no_disclosure_keeps_tree(self, trained):
+        secure, test = trained
+        residual = secure.pruned_tree(test.X[0], [])
+        assert residual.count_internal() == secure.model.root.count_internal()
+
+    def test_partial_pruning_shrinks(self, trained):
+        secure, test = trained
+        full = secure.model.root.count_internal()
+        residual = secure.pruned_tree(test.X[0], [0, 1, 2]).count_internal()
+        assert residual <= full
+
+    def test_pruned_tree_has_no_disclosed_nodes(self, trained):
+        secure, test = trained
+        disclosed = {0, 1, 2, 3}
+        residual = secure.pruned_tree(test.X[0], disclosed)
+
+        def check(node):
+            if node.is_leaf:
+                return
+            assert node.feature not in disclosed
+            check(node.left)
+            check(node.right)
+
+        check(residual)
+
+
+class TestParity:
+    def test_pure_smc_matches_plain(self, trained, session_context):
+        secure, test = trained
+        for row in test.X[:3]:
+            assert secure.classify(session_context, row) == \
+                secure.model.predict_one(row)
+
+    def test_partial_disclosure_matches(self, trained, session_context):
+        secure, test = trained
+        for row in test.X[:3]:
+            assert secure.classify(session_context, row, [0, 1, 3, 5]) == \
+                secure.model.predict_one(row)
+
+    def test_full_disclosure_matches(self, trained, session_context):
+        secure, test = trained
+        everything = list(range(secure.n_features))
+        for row in test.X[:6]:
+            assert secure.classify(session_context, row, everything) == \
+                secure.model.predict_one(row)
+
+    def test_many_rows_pure(self, trained, session_context):
+        secure, test = trained
+        matches = sum(
+            secure.classify(session_context, row) == secure.model.predict_one(row)
+            for row in test.X[3:8]
+        )
+        assert matches == 5
+
+
+class TestCostStructure:
+    def test_disclosure_cuts_comparisons(self, trained, fresh_context):
+        secure, test = trained
+        row = test.X[0]
+        secure.classify(fresh_context, row)
+        full_zero_tests = fresh_context.trace.op_count(Op.DGK_ZERO_TEST)
+        secure.classify(fresh_context, row, [0, 1, 2, 3, 4, 5])
+        partial = fresh_context.trace.op_count(Op.DGK_ZERO_TEST) - full_zero_tests
+        assert partial < full_zero_tests
+
+    def test_estimated_trace_shrinks_with_disclosure(self, trained):
+        secure, _ = trained
+        pure = secure.estimated_trace([])
+        partial = secure.estimated_trace([0, 1, 2, 3])
+        full = secure.estimated_trace(list(range(secure.n_features)))
+        assert pure.total_bytes > partial.total_bytes > full.total_bytes
+
+    def test_expected_shape_uses_marginals(self, trained):
+        # Expected comparisons under disclosure must be <= the full
+        # count and >= the all-hidden residual average.
+        secure, _ = trained
+        pure = secure.estimated_trace([])
+        partial = secure.estimated_trace([0])
+        assert partial.op_count(Op.DGK_ZERO_TEST) <= pure.op_count(Op.DGK_ZERO_TEST)
+
+    def test_marginal_count_mismatch_rejected(self, trained, warfarin_split):
+        train, _ = warfarin_split
+        with pytest.raises(SecureClassificationError):
+            SecureDecisionTreeClassifier(
+                trained[0].model, train.features, feature_marginals=[np.ones(2)]
+            )
+
+
+class TestEstimatedVsLive:
+    def test_pure_counts_close(self, trained, fresh_context):
+        secure, test = trained
+        estimated = secure.estimated_trace([])
+        secure.classify(fresh_context, test.X[4])
+        live = fresh_context.trace
+        assert estimated.op_count(Op.DGK_ZERO_TEST) == pytest.approx(
+            live.op_count(Op.DGK_ZERO_TEST), rel=0.3, abs=5
+        )
+        assert estimated.total_bytes == pytest.approx(
+            live.total_bytes, rel=0.35
+        )

@@ -1,0 +1,109 @@
+"""Tests for the dual (cost-budget) disclosure solvers."""
+
+import itertools
+
+import pytest
+
+from repro.selection.dual import solve_dual_exhaustive, solve_dual_greedy
+from repro.selection.problem import DisclosureProblem, SelectionError
+
+
+def make_problem(risks, savings, base_cost=10.0):
+    return DisclosureProblem(
+        candidates=tuple(range(len(risks))),
+        risk=lambda cols: sum(risks[c] for c in set(cols)),
+        cost=lambda cols: base_cost - sum(savings[c] for c in set(cols)),
+        risk_budget=1.0,
+    )
+
+
+def brute_force_min_risk(risks, savings, cost_budget, base_cost=10.0):
+    best = None
+    for size in range(len(risks) + 1):
+        for subset in itertools.combinations(range(len(risks)), size):
+            cost = base_cost - sum(savings[c] for c in subset)
+            if cost > cost_budget + 1e-12:
+                continue
+            risk = sum(risks[c] for c in subset)
+            if best is None or risk < best:
+                best = risk
+    return best
+
+
+INSTANCE = dict(
+    risks=[0.05, 0.10, 0.20, 0.30, 0.02, 0.15],
+    savings=[1.0, 2.5, 2.0, 4.0, 0.5, 2.2],
+)
+
+
+class TestDualExhaustive:
+    def test_finds_minimum_risk(self):
+        for cost_budget in (9.0, 7.0, 5.0, 1.0):
+            solution = solve_dual_exhaustive(
+                make_problem(**INSTANCE), cost_budget
+            )
+            expected = brute_force_min_risk(**INSTANCE, cost_budget=cost_budget)
+            assert solution.risk == pytest.approx(expected)
+            assert solution.cost <= cost_budget + 1e-9
+
+    def test_unreachable_budget_rejected(self):
+        with pytest.raises(SelectionError):
+            solve_dual_exhaustive(make_problem(**INSTANCE), cost_budget=-5.0)
+
+    def test_loose_budget_discloses_nothing(self):
+        solution = solve_dual_exhaustive(make_problem(**INSTANCE), 10.0)
+        assert solution.disclosed == ()
+        assert solution.risk == 0.0
+
+
+class TestDualGreedy:
+    def test_meets_budget(self):
+        for cost_budget in (9.0, 7.0, 5.0, 1.0):
+            solution = solve_dual_greedy(make_problem(**INSTANCE), cost_budget)
+            assert solution.cost <= cost_budget + 1e-9
+
+    def test_near_optimal(self):
+        for cost_budget in (9.0, 7.0, 5.0):
+            greedy = solve_dual_greedy(make_problem(**INSTANCE), cost_budget)
+            exact = solve_dual_exhaustive(make_problem(**INSTANCE), cost_budget)
+            assert greedy.risk <= exact.risk + 0.15
+
+    def test_unreachable_budget_rejected(self):
+        with pytest.raises(SelectionError):
+            solve_dual_greedy(make_problem(**INSTANCE), cost_budget=-5.0)
+
+    def test_backward_pass_drops_redundant(self):
+        # A high-risk big saver gets added first; once the budget is met
+        # by cheaper features the backward pass must not keep extras
+        # whose removal still satisfies the SLA.
+        risks = [0.9, 0.01, 0.01]
+        savings = [5.0, 3.0, 3.0]
+        solution = solve_dual_greedy(
+            make_problem(risks, savings), cost_budget=5.0
+        )
+        assert solution.cost <= 5.0 + 1e-9
+        # Optimal here: disclose {1, 2} (risk 0.02), not feature 0.
+        assert solution.risk <= 0.9
+
+    def test_monotone_in_budget(self):
+        risks_at = {}
+        for cost_budget in (9.0, 6.0, 3.0):
+            solution = solve_dual_greedy(make_problem(**INSTANCE), cost_budget)
+            risks_at[cost_budget] = solution.risk
+        assert risks_at[9.0] <= risks_at[6.0] <= risks_at[3.0]
+
+
+class TestDualOnRealPipeline:
+    def test_meets_latency_sla(self, warfarin_split):
+        from repro import PipelineConfig, PrivacyAwareClassifier
+
+        train, _ = warfarin_split
+        pipeline = PrivacyAwareClassifier(
+            PipelineConfig(classifier="naive_bayes", paillier_bits=384,
+                           dgk_bits=192, risk_sample_rows=120)
+        ).fit(train)
+        problem = pipeline.build_problem(1.0)
+        target = pipeline.pure_smc_cost() * 0.5
+        solution = solve_dual_greedy(problem, cost_budget=target)
+        assert solution.cost <= target + 1e-9
+        assert 0.0 <= solution.risk <= 1.0

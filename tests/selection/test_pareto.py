@@ -1,0 +1,65 @@
+"""Tests for Pareto-frontier sweeps."""
+
+import pytest
+
+from repro.selection.pareto import pareto_frontier, prune_to_pareto
+from repro.selection.problem import DisclosureProblem, DisclosureSolution
+
+
+def _solution(risk, cost):
+    return DisclosureSolution(
+        disclosed=(), risk=risk, cost=cost, algorithm="x",
+        solve_seconds=0.0, nodes_explored=0,
+    )
+
+
+class TestPrune:
+    def test_dominated_points_removed(self):
+        points = [_solution(0.1, 5.0), _solution(0.2, 6.0), _solution(0.3, 4.0)]
+        frontier = prune_to_pareto(points)
+        assert [(p.risk, p.cost) for p in frontier] == [(0.1, 5.0), (0.3, 4.0)]
+
+    def test_sorted_by_risk(self):
+        points = [_solution(0.5, 1.0), _solution(0.1, 3.0)]
+        frontier = prune_to_pareto(points)
+        assert frontier[0].risk < frontier[1].risk
+
+    def test_duplicates_collapse(self):
+        points = [_solution(0.1, 5.0), _solution(0.1, 5.0)]
+        assert len(prune_to_pareto(points)) == 1
+
+    def test_monotone_cost_along_frontier(self):
+        points = [_solution(r / 10, 10 - r) for r in range(10)]
+        frontier = prune_to_pareto(points)
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestFrontierSweep:
+    def _problem(self):
+        risks = {0: 0.1, 1: 0.2, 2: 0.4}
+        savings = {0: 1.0, 1: 2.0, 2: 4.0}
+
+        return DisclosureProblem(
+            candidates=(0, 1, 2),
+            risk=lambda cols: sum(risks[c] for c in set(cols)),
+            cost=lambda cols: 10.0 - sum(savings[c] for c in set(cols)),
+            risk_budget=0.0,
+        )
+
+    def test_cost_decreases_with_budget(self):
+        frontier = pareto_frontier(self._problem(), budgets=[0.0, 0.1, 0.3, 0.7, 1.0])
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == pytest.approx(3.0)  # everything disclosed
+
+    def test_template_budget_not_mutated(self):
+        problem = self._problem()
+        pareto_frontier(problem, budgets=[0.5])
+        assert problem.risk_budget == 0.0
+
+    def test_frontier_points_feasible(self):
+        budgets = [0.0, 0.15, 0.35, 1.0]
+        frontier = pareto_frontier(self._problem(), budgets=budgets)
+        for point in frontier:
+            assert point.risk <= 1.0

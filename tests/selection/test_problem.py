@@ -1,0 +1,84 @@
+"""Tests for the disclosure-problem containers."""
+
+import pytest
+
+from repro.selection.problem import (
+    DisclosureProblem,
+    DisclosureSolution,
+    SelectionError,
+    finalize_solution,
+)
+
+
+def linear_problem(budget=0.5, candidates=(0, 1, 2), free=()):
+    """Simple synthetic problem: risk = 0.1 per feature, cost = number
+    of hidden features out of 5."""
+
+    def risk(columns):
+        return 0.1 * len(set(columns))
+
+    def cost(columns):
+        return float(5 - len(set(columns)))
+
+    return DisclosureProblem(
+        candidates=tuple(candidates),
+        risk=risk,
+        cost=cost,
+        risk_budget=budget,
+        free_features=tuple(free),
+    )
+
+
+class TestProblem:
+    def test_duplicate_candidates_removed(self):
+        problem = linear_problem(candidates=(0, 1, 1, 2))
+        assert problem.candidates == (0, 1, 2)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(SelectionError):
+            linear_problem(budget=1.5)
+        with pytest.raises(SelectionError):
+            linear_problem(budget=-0.1)
+
+    def test_free_candidate_overlap_rejected(self):
+        with pytest.raises(SelectionError):
+            linear_problem(candidates=(0, 1), free=(1,))
+
+    def test_free_features_included_in_evaluations(self):
+        problem = linear_problem(free=(9,))
+        assert problem.evaluate_risk([0]) == pytest.approx(0.2)
+        assert problem.evaluate_cost([0]) == pytest.approx(3.0)
+
+    def test_evaluation_counters(self):
+        problem = linear_problem()
+        problem.evaluate_risk([0])
+        problem.evaluate_risk([1])
+        problem.evaluate_cost([0])
+        assert problem.evaluation_counts == {"risk": 2, "cost": 1}
+        problem.reset_counters()
+        assert problem.evaluation_counts == {"risk": 0, "cost": 0}
+
+    def test_feasible(self):
+        problem = linear_problem(budget=0.25)
+        assert problem.feasible([0, 1])
+        assert not problem.feasible([0, 1, 2])
+
+
+class TestSolution:
+    def test_finalize_includes_free_features(self):
+        problem = linear_problem(free=(7,))
+        import time
+
+        solution = finalize_solution(problem, [0], "test", time.perf_counter(), 3)
+        assert solution.disclosed == (0, 7)
+        assert solution.algorithm == "test"
+        assert solution.nodes_explored == 3
+        assert solution.solve_seconds >= 0
+
+    def test_describe_with_names(self):
+        solution = DisclosureSolution(
+            disclosed=(0, 2), risk=0.1, cost=2.5,
+            algorithm="greedy", solve_seconds=0.01, nodes_explored=5,
+        )
+        text = solution.describe(["alpha", "beta", "gamma"])
+        assert "alpha" in text and "gamma" in text and "greedy" in text

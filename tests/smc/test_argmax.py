@@ -1,0 +1,67 @@
+"""Tests for the secure argmax protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smc.argmax import ArgmaxError, secure_argmax, secure_argmax_plain_reference
+
+
+def _encrypt_all(ctx, values):
+    return [ctx.paillier.public_key.encrypt(v, rng=ctx.server_rng) for v in values]
+
+
+class TestPlainReference:
+    def test_first_max(self):
+        assert secure_argmax_plain_reference([3, 7, 7, 1]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArgmaxError):
+            secure_argmax_plain_reference([])
+
+
+class TestSecureArgmax:
+    def test_single_candidate(self, session_context):
+        encs = _encrypt_all(session_context, [5])
+        assert secure_argmax(session_context, encs, 8) == 0
+
+    def test_two_candidates(self, session_context):
+        for values in ([10, 200], [200, 10]):
+            encs = _encrypt_all(session_context, values)
+            winner = secure_argmax(session_context, encs, 8)
+            assert values[winner] == max(values)
+
+    @given(st.lists(st.integers(0, 255), min_size=2, max_size=6, unique=True))
+    @settings(max_examples=12, deadline=None)
+    def test_random_unique_lists(self, session_context, values):
+        encs = _encrypt_all(session_context, values)
+        winner = secure_argmax(session_context, encs, 8)
+        assert values[winner] == max(values)
+
+    def test_ties_return_some_maximum(self, session_context):
+        values = [9, 9, 3, 9]
+        encs = _encrypt_all(session_context, values)
+        winner = secure_argmax(session_context, encs, 8)
+        assert values[winner] == 9
+
+    def test_empty_rejected(self, session_context):
+        with pytest.raises(ArgmaxError):
+            secure_argmax(session_context, [], 8)
+
+    def test_max_at_every_position(self, session_context):
+        base = [10, 20, 30, 40]
+        for position in range(4):
+            values = [5] * 4
+            values[position] = 99
+            encs = _encrypt_all(session_context, values)
+            assert secure_argmax(session_context, encs, 8) == position
+
+    def test_traffic_scales_with_candidates(self, fresh_context):
+        ctx = fresh_context
+        encs = _encrypt_all(ctx, [1, 2])
+        secure_argmax(ctx, encs, 8)
+        small = ctx.trace.total_bytes
+        encs = _encrypt_all(ctx, [1, 2, 3, 4, 5, 6])
+        secure_argmax(ctx, encs, 8)
+        large = ctx.trace.total_bytes - small
+        assert large > small  # 5 tournament rounds vs 1

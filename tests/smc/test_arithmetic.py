@@ -1,0 +1,94 @@
+"""Tests for the share-based arithmetic engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.beaver import TrustedDealer
+from repro.crypto.rand import fresh_rng
+from repro.crypto.secret_sharing import AdditiveSecretSharer
+from repro.smc.arithmetic import ArithmeticError_, ShareEngine
+from repro.smc.protocol import Op
+
+values = st.integers(-(2**20), 2**20)
+
+
+@pytest.fixture()
+def engine():
+    rng = fresh_rng(1)
+    sharer = AdditiveSecretSharer(rng=rng)
+    return ShareEngine(dealer=TrustedDealer(sharer=sharer, rng=rng), sharer=sharer)
+
+
+class TestLinearOps:
+    @given(values, values)
+    @settings(max_examples=25, deadline=None)
+    def test_addition(self, a, b):
+        engine = ShareEngine()
+        assert engine.open(engine.input(a) + engine.input(b)) == a + b
+
+    @given(values, values)
+    @settings(max_examples=25, deadline=None)
+    def test_subtraction(self, a, b):
+        engine = ShareEngine()
+        assert engine.open(engine.input(a) - engine.input(b)) == a - b
+
+    @given(values, st.integers(-1000, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_mul(self, a, k):
+        engine = ShareEngine()
+        assert engine.open(engine.input(a) * k) == a * k
+
+    def test_public_constant_add(self, engine):
+        assert engine.open(engine.input(40) + 2) == 42
+
+
+class TestMultiplication:
+    @given(values, values)
+    @settings(max_examples=25, deadline=None)
+    def test_beaver_product(self, a, b):
+        engine = ShareEngine()
+        assert engine.open(engine.multiply(engine.input(a), engine.input(b))) == a * b
+
+    def test_multiplication_consumes_triple(self, engine):
+        before = engine.channel.trace.op_count(Op.SHARE_MUL_TRIPLE)
+        engine.multiply(engine.input(2), engine.input(3))
+        assert engine.channel.trace.op_count(Op.SHARE_MUL_TRIPLE) == before + 1
+
+    def test_openings_recorded(self, engine):
+        before = engine.channel.trace.messages
+        engine.multiply(engine.input(2), engine.input(3))
+        # two openings, each a pair of announcements
+        assert engine.channel.trace.messages - before == 4
+
+
+class TestDotProduct:
+    def test_matches_plain(self, engine):
+        xs = [engine.input(v) for v in (2, -3, 4)]
+        ys = [engine.input(v) for v in (5, 6, -7)]
+        assert engine.open(engine.dot_product(xs, ys)) == 2 * 5 - 3 * 6 - 4 * 7
+
+    def test_empty(self, engine):
+        assert engine.open(engine.dot_product([], [])) == 0
+
+    def test_length_mismatch_rejected(self, engine):
+        with pytest.raises(ArithmeticError_):
+            engine.dot_product([engine.input(1)], [])
+
+
+class TestLinearCombination:
+    def test_matches_plain(self, engine):
+        vals = [engine.input(v) for v in (1, 2, 3)]
+        assert engine.open(engine.linear_combination(vals, [10, 20, 30])) == 140
+
+    def test_length_mismatch_rejected(self, engine):
+        with pytest.raises(ArithmeticError_):
+            engine.linear_combination([engine.input(1)], [1, 2])
+
+
+class TestConstruction:
+    def test_modulus_mismatch_rejected(self):
+        sharer = AdditiveSecretSharer(modulus=1 << 16)
+        dealer = TrustedDealer()  # default 64-bit ring
+        with pytest.raises(ArithmeticError_):
+            ShareEngine(dealer=dealer, sharer=sharer)

@@ -1,0 +1,125 @@
+"""Tests for the secure comparison protocols."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smc.comparison import (
+    ComparisonError,
+    SharedBit,
+    compare_encrypted,
+    compare_encrypted_client_learns,
+    compare_values_encrypted,
+    dgk_compare,
+    sign_test_client_learns,
+)
+from repro.smc.protocol import Op
+
+
+class TestSharedBit:
+    def test_reconstruction(self):
+        assert SharedBit(0, 0).value == 0
+        assert SharedBit(1, 0).value == 1
+        assert SharedBit(0, 1).value == 1
+        assert SharedBit(1, 1).value == 0
+
+
+class TestDgkCompare:
+    def test_exhaustive_3bit(self, session_context):
+        for x, y in itertools.product(range(8), repeat=2):
+            shared = dgk_compare(session_context, x, y, 3)
+            assert shared.value == int(x < y), (x, y)
+
+    def test_equal_values_all_widths(self, session_context):
+        for bits in (1, 4, 8):
+            for v in (0, (1 << bits) - 1):
+                assert dgk_compare(session_context, v, v, bits).value == 0
+
+    def test_boundaries(self, session_context):
+        bits = 8
+        top = (1 << bits) - 1
+        assert dgk_compare(session_context, 0, top, bits).value == 1
+        assert dgk_compare(session_context, top, 0, bits).value == 0
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    @settings(max_examples=25, deadline=None)
+    def test_random_10bit(self, session_context, x, y):
+        assert dgk_compare(session_context, x, y, 10).value == int(x < y)
+
+    def test_out_of_range_rejected(self, session_context):
+        with pytest.raises(ComparisonError):
+            dgk_compare(session_context, 8, 0, 3)
+        with pytest.raises(ComparisonError):
+            dgk_compare(session_context, 0, -1, 3)
+
+    def test_counts_dgk_ops(self, fresh_context):
+        before = fresh_context.trace.op_count(Op.DGK_ENCRYPT)
+        dgk_compare(fresh_context, 3, 5, 4)
+        after = fresh_context.trace.op_count(Op.DGK_ENCRYPT)
+        assert after - before == (4 + 1) + 1  # width bits + suffix seed
+
+    def test_traffic_recorded(self, fresh_context):
+        before = fresh_context.trace.total_bytes
+        dgk_compare(fresh_context, 3, 5, 4)
+        assert fresh_context.trace.total_bytes > before
+
+
+class TestCompareEncrypted:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_random_pairs(self, session_context, a, b):
+        ctx = session_context
+        enc_a = ctx.paillier.public_key.encrypt(a, rng=ctx.server_rng)
+        enc_b = ctx.paillier.public_key.encrypt(b, rng=ctx.server_rng)
+        result = compare_values_encrypted(ctx, enc_a, enc_b, 8)
+        assert ctx.paillier.private_key.decrypt(result) == int(a >= b)
+
+    def test_equal_values(self, session_context):
+        ctx = session_context
+        enc = ctx.paillier.public_key.encrypt(42, rng=ctx.server_rng)
+        enc2 = ctx.paillier.public_key.encrypt(42, rng=ctx.server_rng)
+        result = compare_values_encrypted(ctx, enc, enc2, 8)
+        assert ctx.paillier.private_key.decrypt(result) == 1  # >= holds
+
+    def test_direct_z_form(self, session_context):
+        ctx = session_context
+        for z in (0, 1, 255, 256, 511):
+            enc_z = ctx.paillier.public_key.encrypt(z, rng=ctx.server_rng)
+            result = compare_encrypted(ctx, enc_z, 8)
+            assert ctx.paillier.private_key.decrypt(result) == z >> 8
+
+
+class TestCompareEncryptedClientLearns:
+    @given(st.integers(0, 511))
+    @settings(max_examples=20, deadline=None)
+    def test_z_bit(self, session_context, z):
+        ctx = session_context
+        enc_z = ctx.paillier.public_key.encrypt(z, rng=ctx.server_rng)
+        assert compare_encrypted_client_learns(ctx, enc_z, 8) == z >> 8
+
+
+class TestSignTest:
+    @given(st.integers(-255, 255))
+    @settings(max_examples=25, deadline=None)
+    def test_signed_scores(self, session_context, score):
+        ctx = session_context
+        enc = ctx.paillier.public_key.encrypt(score, rng=ctx.server_rng)
+        assert sign_test_client_learns(ctx, enc, 8) == int(score >= 0)
+
+    def test_extremes(self, session_context):
+        ctx = session_context
+        for score, expected in ((-256, 0), (-1, 0), (0, 1), (255, 1)):
+            enc = ctx.paillier.public_key.encrypt(score, rng=ctx.server_rng)
+            assert sign_test_client_learns(ctx, enc, 8) == expected
+
+
+class TestRoundAccounting:
+    def test_compare_encrypted_rounds(self, fresh_context):
+        ctx = fresh_context
+        before = ctx.trace.rounds
+        enc = ctx.paillier.public_key.encrypt(300, rng=ctx.server_rng)
+        compare_encrypted(ctx, enc, 8)
+        # blind (1) + dgk (2) + correction upload (1) = 4 rounds.
+        assert ctx.trace.rounds - before == 4

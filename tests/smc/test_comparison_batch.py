@@ -1,0 +1,85 @@
+"""Tests for the batched comparison protocols."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smc.comparison import (
+    ComparisonError,
+    compare_encrypted,
+    compare_encrypted_many,
+    dgk_compare_many,
+)
+
+
+class TestDgkCompareMany:
+    def test_empty_batch(self, session_context):
+        assert dgk_compare_many(session_context, [], 4) == []
+
+    def test_matches_semantics(self, session_context):
+        pairs = [(0, 0), (3, 7), (7, 3), (15, 15), (0, 15), (15, 0)]
+        results = dgk_compare_many(session_context, pairs, 4)
+        for (x, y), shared in zip(pairs, results):
+            assert shared.value == int(x < y), (x, y)
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=10, deadline=None)
+    def test_random_batches(self, session_context, pairs):
+        results = dgk_compare_many(session_context, pairs, 8)
+        for (x, y), shared in zip(pairs, results):
+            assert shared.value == int(x < y)
+
+    def test_two_rounds_regardless_of_size(self, fresh_context):
+        ctx = fresh_context
+        before = ctx.trace.rounds
+        dgk_compare_many(ctx, [(1, 2)] * 8, 4)
+        assert ctx.trace.rounds - before == 2
+
+    def test_out_of_range_rejected(self, session_context):
+        with pytest.raises(ComparisonError):
+            dgk_compare_many(session_context, [(16, 0)], 4)
+
+
+class TestCompareEncryptedMany:
+    def test_empty_batch(self, session_context):
+        assert compare_encrypted_many(session_context, [], 8) == []
+
+    def test_matches_sequential(self, session_context):
+        ctx = session_context
+        zs = [0, 1, 255, 256, 300, 511]
+        encrypted = [ctx.paillier.public_key.encrypt(z, rng=ctx.server_rng)
+                     for z in zs]
+        batched = compare_encrypted_many(ctx, encrypted, 8)
+        for z, bit_enc in zip(zs, batched):
+            assert ctx.paillier.private_key.decrypt(bit_enc) == z >> 8
+
+        # And sequential runs agree.
+        for z in zs:
+            enc = ctx.paillier.public_key.encrypt(z, rng=ctx.server_rng)
+            sequential = compare_encrypted(ctx, enc, 8)
+            assert ctx.paillier.private_key.decrypt(sequential) == z >> 8
+
+    def test_four_rounds_regardless_of_size(self, fresh_context):
+        ctx = fresh_context
+        encrypted = [ctx.paillier.public_key.encrypt(300, rng=ctx.server_rng)
+                     for _ in range(6)]
+        before = ctx.trace.rounds
+        compare_encrypted_many(ctx, encrypted, 8)
+        assert ctx.trace.rounds - before == 4
+
+    def test_round_savings_vs_sequential(self, fresh_context):
+        ctx = fresh_context
+        batch = [ctx.paillier.public_key.encrypt(300, rng=ctx.server_rng)
+                 for _ in range(5)]
+        before = ctx.trace.rounds
+        compare_encrypted_many(ctx, batch, 8)
+        batched_rounds = ctx.trace.rounds - before
+
+        before = ctx.trace.rounds
+        for _ in range(5):
+            ctx.channel.reset_direction()
+            enc = ctx.paillier.public_key.encrypt(300, rng=ctx.server_rng)
+            compare_encrypted(ctx, enc, 8)
+        sequential_rounds = ctx.trace.rounds - before
+        assert batched_rounds * 3 < sequential_rounds

@@ -1,0 +1,61 @@
+"""Tests for the encrypted dot product."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smc.dotproduct import (
+    DotProductError,
+    batched_encrypted_dot_products,
+    encrypt_feature_vector,
+    encrypted_dot_product,
+)
+
+vec = st.lists(st.integers(-50, 50), min_size=1, max_size=8)
+
+
+class TestEncryptedDotProduct:
+    @given(vec)
+    @settings(max_examples=15, deadline=None)
+    def test_matches_plain(self, session_context, xs):
+        ctx = session_context
+        weights = [i - len(xs) // 2 for i in range(len(xs))]
+        encs = encrypt_feature_vector(ctx, xs)
+        score = encrypted_dot_product(ctx, encs, weights, plaintext_offset=17)
+        expected = sum(w * x for w, x in zip(weights, xs)) + 17
+        assert ctx.paillier.private_key.decrypt(score) == expected
+
+    def test_empty_vector(self, session_context):
+        ctx = session_context
+        encs = encrypt_feature_vector(ctx, [])
+        assert encs == []
+        score = encrypted_dot_product(ctx, encs, [], plaintext_offset=5)
+        assert ctx.paillier.private_key.decrypt(score) == 5
+
+    def test_zero_weights_skipped(self, session_context):
+        ctx = session_context
+        encs = encrypt_feature_vector(ctx, [3, 4])
+        score = encrypted_dot_product(ctx, encs, [0, 0])
+        assert ctx.paillier.private_key.decrypt(score) == 0
+
+    def test_shape_mismatch_rejected(self, session_context):
+        encs = encrypt_feature_vector(session_context, [1, 2])
+        with pytest.raises(DotProductError):
+            encrypted_dot_product(session_context, encs, [1])
+
+
+class TestBatched:
+    def test_multiclass_scores(self, session_context):
+        ctx = session_context
+        xs = [2, -1, 3]
+        rows = [[1, 0, 0], [0, 1, 0], [2, 2, 2]]
+        offsets = [10, 20, 30]
+        encs = encrypt_feature_vector(ctx, xs)
+        scores = batched_encrypted_dot_products(ctx, encs, rows, offsets)
+        decrypted = [ctx.paillier.private_key.decrypt(s) for s in scores]
+        assert decrypted == [12, 19, 38]
+
+    def test_offset_mismatch_rejected(self, session_context):
+        encs = encrypt_feature_vector(session_context, [1])
+        with pytest.raises(DotProductError):
+            batched_encrypted_dot_products(session_context, encs, [[1]], [1, 2])

@@ -1,0 +1,110 @@
+"""Tests for the accounted channel and network models."""
+
+import pytest
+
+from repro.crypto.paillier import PaillierKeyPair
+from repro.crypto.rand import fresh_rng
+from repro.smc.network import (
+    Channel,
+    ChannelError,
+    Direction,
+    NetworkModel,
+    NetworkProfile,
+    wire_size,
+)
+
+
+class TestWireSize:
+    def test_int_sizes(self):
+        assert wire_size(0) == 4
+        assert wire_size(255) == 5
+        assert wire_size(1 << 16) == 4 + 3
+
+    def test_bytes_and_str(self):
+        assert wire_size(b"abc") == 7
+        assert wire_size("abc") == 7
+
+    def test_none_and_bool(self):
+        assert wire_size(None) == 1
+        assert wire_size(True) == 1
+
+    def test_float(self):
+        assert wire_size(1.5) == 8
+
+    def test_list_recursion(self):
+        assert wire_size([0, 0]) == 4 + 4 + 4
+
+    def test_dict_recursion(self):
+        assert wire_size({1: 2}) == 4 + 5 + 5
+
+    def test_ciphertext_uses_declared_size(self):
+        keys = PaillierKeyPair.generate(key_bits=256, rng=fresh_rng(1))
+        ct = keys.public_key.encrypt(5, rng=fresh_rng(2))
+        assert wire_size(ct) == ct.serialized_size_bytes()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ChannelError):
+            wire_size(object())
+
+
+class TestChannel:
+    def test_byte_accounting_by_direction(self):
+        channel = Channel()
+        channel.client_sends(b"1234")
+        channel.server_sends(b"12345678")
+        assert channel.trace.bytes_client_to_server == 8
+        assert channel.trace.bytes_server_to_client == 12
+        assert channel.trace.total_bytes == 20
+
+    def test_round_counting(self):
+        channel = Channel()
+        channel.client_sends(1)
+        channel.client_sends(2)  # same direction: same round
+        channel.server_sends(3)  # flip: new round
+        channel.client_sends(4)  # flip: new round
+        assert channel.trace.rounds == 3
+        assert channel.trace.messages == 4
+
+    def test_reset_direction_opens_new_round(self):
+        channel = Channel()
+        channel.client_sends(1)
+        channel.reset_direction()
+        channel.client_sends(2)
+        assert channel.trace.rounds == 2
+
+    def test_payload_passthrough(self):
+        channel = Channel()
+        payload = [1, 2, 3]
+        assert channel.send(Direction.CLIENT_TO_SERVER, payload) is payload
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        model = NetworkModel("test", latency_seconds=0.01,
+                             bandwidth_bytes_per_second=1000)
+        assert model.transfer_seconds(500, 2) == pytest.approx(0.02 + 0.5)
+
+    def test_negative_rejected(self):
+        model = NetworkProfile.LAN
+        with pytest.raises(ValueError):
+            model.transfer_seconds(-1, 0)
+
+    def test_price_uses_trace(self):
+        channel = Channel()
+        channel.client_sends(b"x" * 96)
+        price = NetworkProfile.LAN.price(channel.trace)
+        assert price > 0
+
+    def test_profiles_ordering(self):
+        # WAN must be strictly slower than LAN than loopback.
+        for total_bytes, rounds in ((10_000, 4), (1, 1)):
+            loopback = NetworkProfile.LOOPBACK.transfer_seconds(total_bytes, rounds)
+            lan = NetworkProfile.LAN.transfer_seconds(total_bytes, rounds)
+            wan = NetworkProfile.WAN.transfer_seconds(total_bytes, rounds)
+            assert loopback < lan < wan
+
+    def test_by_name(self):
+        assert NetworkProfile.by_name("lan") is NetworkProfile.LAN
+        assert NetworkProfile.by_name("WAN") is NetworkProfile.WAN
+        with pytest.raises(ChannelError):
+            NetworkProfile.by_name("dialup")

@@ -6,6 +6,11 @@ running ``pytest benchmarks/ --benchmark-only`` regenerates the whole
 evaluation section in text form.
 """
 
-from repro.bench.reporting import Table, format_seconds, format_speedup
+from repro.bench.reporting import (
+    Table,
+    format_seconds,
+    format_speedup,
+    write_bench_json,
+)
 
-__all__ = ["Table", "format_seconds", "format_speedup"]
+__all__ = ["Table", "format_seconds", "format_speedup", "write_bench_json"]

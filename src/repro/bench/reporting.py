@@ -7,7 +7,10 @@ the reproduced rows next to pytest-benchmark's timing table.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+import platform
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class Table:
@@ -86,3 +89,34 @@ def format_seconds(seconds: float) -> str:
 def format_speedup(ratio: float) -> str:
     """``123.4x`` style."""
     return f"{ratio:.1f}x"
+
+
+def write_bench_json(
+    path: str,
+    name: str,
+    metrics: Dict[str, float],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write one benchmark record as JSON so later PRs can track a perf
+    trajectory.
+
+    The record carries the metric dict verbatim plus enough environment
+    context (CPU count, Python version, timestamp) to interpret
+    absolute numbers; the written payload is also returned.
+    """
+    import os
+
+    record: Dict[str, object] = {
+        "bench": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "metrics": {key: float(value) for key, value in metrics.items()},
+    }
+    if meta:
+        record["meta"] = meta
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return record

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 from repro import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
 from repro.bench import Table
+from repro.crypto.engine import BACKENDS as ENGINE_BACKENDS
 from repro.data import (
     generate_adult_like,
     generate_cancer_like,
@@ -88,6 +89,12 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--dataset", choices=sorted(DATASETS), default="warfarin")
     sub.add_argument("--classifier", choices=CLASSIFIERS,
                      default="naive_bayes")
+    sub.add_argument("--engine", choices=ENGINE_BACKENDS, default="serial",
+                     help="batch crypto engine backend (default serial; "
+                          "parallel fans work across processes)")
+    sub.add_argument("--workers", type=int, default=None,
+                     help="worker processes for --engine parallel "
+                          "(default: CPU count)")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -120,6 +127,8 @@ def _fitted_pipeline(args: argparse.Namespace) -> tuple:
     pipeline = PrivacyAwareClassifier(
         PipelineConfig(
             classifier=args.classifier, paillier_bits=384, dgk_bits=192,
+            engine_backend=getattr(args, "engine", "serial"),
+            engine_workers=getattr(args, "workers", None),
             seed=args.seed,
         )
     ).fit(train)

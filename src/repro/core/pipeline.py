@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.classifiers.decision_tree import DecisionTreeClassifier
+from repro.crypto.engine import BACKENDS as ENGINE_BACKENDS
 from repro.classifiers.linear import LogisticRegressionClassifier
 from repro.classifiers.naive_bayes import NaiveBayesClassifier
 from repro.core.exceptions import ReproError
@@ -87,6 +88,12 @@ class PipelineConfig:
     paillier_bits / dgk_bits / dgk_plaintext_bits:
         Key sizes for the *live* protocol context created by
         :meth:`PrivacyAwareClassifier.make_context`.
+    engine_backend / engine_workers:
+        Execution backend for batch Paillier work in live contexts:
+        ``"serial"`` (default) or ``"parallel"`` (process-pool fan-out
+        across ``engine_workers`` processes, defaulting to the CPU
+        count). The backend changes wall-clock speed only -- transcripts,
+        ciphertexts and traces are identical.
     seed:
         Master seed for sampling and key generation.
     """
@@ -105,6 +112,8 @@ class PipelineConfig:
     paillier_bits: int = 512
     dgk_bits: int = 256
     dgk_plaintext_bits: int = 16
+    engine_backend: str = "serial"
+    engine_workers: Optional[int] = None
     tree_max_depth: int = 6
     linear_iterations: int = 300
     seed: int = 0
@@ -119,6 +128,11 @@ class PipelineConfig:
             raise ReproError(
                 f"unknown adversary model {self.adversary_model!r}; "
                 f"expected 'naive_bayes' or 'chow_liu'"
+            )
+        if self.engine_backend not in ENGINE_BACKENDS:
+            raise ReproError(
+                f"unknown engine backend {self.engine_backend!r}; "
+                f"expected one of {ENGINE_BACKENDS}"
             )
 
 
@@ -287,6 +301,8 @@ class PrivacyAwareClassifier:
             paillier_bits=config.paillier_bits,
             dgk_bits=config.dgk_bits,
             dgk_plaintext_bits=config.dgk_plaintext_bits,
+            engine_backend=config.engine_backend,
+            engine_workers=config.engine_workers,
         )
 
     def classify(

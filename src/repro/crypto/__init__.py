@@ -8,7 +8,11 @@ arbitrary-precision integers. The package provides:
 * :mod:`repro.crypto.rand` -- a seedable deterministic random source so
   experiments are reproducible end to end.
 * :mod:`repro.crypto.paillier` -- the Paillier additively homomorphic
-  cryptosystem (the workhorse of Bost-style secure classifiers).
+  cryptosystem (the workhorse of Bost-style secure classifiers), with
+  CRT-accelerated decryption.
+* :mod:`repro.crypto.engine` -- the batch crypto engine: serial or
+  process-pool execution of bulk encrypt/decrypt/scalar-mul/
+  re-randomise work and fused multi-exponentiation dot products.
 * :mod:`repro.crypto.gm` -- Goldwasser-Micali bitwise (XOR-homomorphic)
   encryption.
 * :mod:`repro.crypto.dgk` -- a Damgaard-Geisler-Kroigaard style
@@ -29,6 +33,12 @@ sizes. Do not use this package to protect real data.
 
 from repro.crypto.beaver import BeaverTriple, TrustedDealer
 from repro.crypto.dgk import DgkCiphertext, DgkKeyPair, DgkPrivateKey, DgkPublicKey
+from repro.crypto.engine import (
+    CryptoEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_engine,
+)
 from repro.crypto.gm import GMCiphertext, GMKeyPair, GMPrivateKey, GMPublicKey
 from repro.crypto.ot import ObliviousTransferReceiver, ObliviousTransferSender
 from repro.crypto.paillier import (
@@ -47,6 +57,7 @@ from repro.crypto.secret_sharing import (
 __all__ = [
     "AdditiveSecretSharer",
     "BeaverTriple",
+    "CryptoEngine",
     "DeterministicRandom",
     "DgkCiphertext",
     "DgkKeyPair",
@@ -63,7 +74,10 @@ __all__ = [
     "PaillierPrivateKey",
     "PaillierPublicKey",
     "PrecomputedEncryptionPool",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "ShamirSecretSharer",
     "TrustedDealer",
     "default_rng",
+    "make_engine",
 ]

@@ -117,26 +117,119 @@ class PaillierPrivateKey:
     """Private half of a Paillier key pair.
 
     Holds Carmichael's ``lambda(n)`` and the precomputed ``mu`` so
-    decryption is two exponentiations and a multiplication.
+    decryption is two exponentiations and a multiplication. When the
+    prime factors ``p`` and ``q`` are retained (the default for freshly
+    generated keys), decryption instead runs mod ``p^2`` and ``q^2``
+    separately and recombines by the Chinese remainder theorem -- the
+    exponentiations operate on half-width numbers, a ~4x speedup.
+    Keys restored without factors fall back to the standard path.
     """
 
     public_key: PaillierPublicKey
     lam: int
     mu: int
+    p: Optional[int] = None
+    q: Optional[int] = None
 
-    def decrypt_raw(self, ciphertext: "PaillierCiphertext") -> int:
-        """Decrypt to the raw group element in ``[0, n)``."""
-        if ciphertext.public_key.n != self.public_key.n:
-            raise PaillierError("ciphertext was encrypted under a different key")
+    @property
+    def has_crt(self) -> bool:
+        """Whether the prime factors are available for CRT decryption."""
+        return self.p is not None and self.q is not None
+
+    @property
+    def crt_params(self) -> "_CrtParams":
+        """Precomputed CRT constants (cached after first use)."""
+        cached = self.__dict__.get("_crt_params")
+        if cached is None:
+            if not self.has_crt:
+                raise PaillierError(
+                    "CRT decryption needs the prime factors p and q"
+                )
+            cached = _CrtParams.build(self.p, self.q)
+            # frozen dataclass: cache via object.__setattr__.
+            object.__setattr__(self, "_crt_params", cached)
+        return cached
+
+    def decrypt_raw_standard(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to the raw group element in ``[0, n)`` with the
+        single full-width exponentiation (no CRT)."""
+        self._require_key_match(ciphertext)
         n = self.public_key.n
         n_sq = self.public_key.n_squared
         u = pow(ciphertext.value, self.lam, n_sq)
         l_of_u = (u - 1) // n
         return (l_of_u * self.mu) % n
 
+    def decrypt_raw_crt(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to the raw group element via the CRT fast path."""
+        self._require_key_match(ciphertext)
+        params = self.crt_params
+        c = ciphertext.value
+        mp_ = params.half_decrypt_p(pow(c % params.p_squared, params.p - 1,
+                                        params.p_squared))
+        mq_ = params.half_decrypt_q(pow(c % params.q_squared, params.q - 1,
+                                        params.q_squared))
+        return params.recombine(mp_, mq_)
+
+    def decrypt_raw(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to the raw group element in ``[0, n)``.
+
+        Uses the CRT fast path when the prime factors are available.
+        """
+        if self.has_crt:
+            return self.decrypt_raw_crt(ciphertext)
+        return self.decrypt_raw_standard(ciphertext)
+
     def decrypt(self, ciphertext: "PaillierCiphertext") -> int:
         """Decrypt to a signed integer (inverse of signed encryption)."""
         return self.public_key.decode_signed(self.decrypt_raw(ciphertext))
+
+    def _require_key_match(self, ciphertext: "PaillierCiphertext") -> None:
+        if ciphertext.public_key.n != self.public_key.n:
+            raise PaillierError("ciphertext was encrypted under a different key")
+
+
+@dataclass(frozen=True)
+class _CrtParams:
+    """Precomputed constants for CRT-accelerated Paillier decryption.
+
+    With ``g = n + 1``, the half-decryption constants reduce to
+    ``hp = (L_p((1+n)^{p-1} mod p^2))^{-1} = ((p-1) q)^{-1} mod p``
+    (and symmetrically for ``q``).
+    """
+
+    p: int
+    q: int
+    p_squared: int
+    q_squared: int
+    hp: int
+    hq: int
+    q_inv_p: int  # q^{-1} mod p, for the recombination step
+
+    @staticmethod
+    def build(p: int, q: int) -> "_CrtParams":
+        return _CrtParams(
+            p=p,
+            q=q,
+            p_squared=p * p,
+            q_squared=q * q,
+            hp=modinv(((p - 1) * q) % p, p),
+            hq=modinv(((q - 1) * p) % q, q),
+            q_inv_p=modinv(q % p, p),
+        )
+
+    def half_decrypt_p(self, u_p: int) -> int:
+        """``m mod p`` from ``u_p = c^{p-1} mod p^2``."""
+        return ((u_p - 1) // self.p) * self.hp % self.p
+
+    def half_decrypt_q(self, u_q: int) -> int:
+        """``m mod q`` from ``u_q = c^{q-1} mod q^2``."""
+        return ((u_q - 1) // self.q) * self.hq % self.q
+
+    def recombine(self, m_p: int, m_q: int) -> int:
+        """Garner recombination of the two half plaintexts into
+        ``m mod pq``."""
+        return m_q + self.q * ((m_p - m_q) * self.q_inv_p % self.p)
 
 
 @dataclass(frozen=True)
@@ -172,7 +265,9 @@ class PaillierKeyPair:
             # mu = (L(g^lambda mod n^2))^-1 mod n with g = n + 1:
             # g^lambda = 1 + lambda*n (mod n^2), so L(...) = lambda mod n.
             mu = modinv(lam % n, n)
-            private = PaillierPrivateKey(public_key=public, lam=lam, mu=mu)
+            private = PaillierPrivateKey(
+                public_key=public, lam=lam, mu=mu, p=p, q=q
+            )
             return PaillierKeyPair(public_key=public, private_key=private)
 
 

@@ -12,10 +12,15 @@ fills a pool while idle (or a background thread does) and drains it
 during live queries; the pool refuses to silently fall back when empty
 so callers account the offline work honestly (use ``refill`` or
 ``encrypt_fallback`` explicitly).
+
+All pool state is guarded by one lock, so a daemon refiller thread
+(:meth:`PrecomputedEncryptionPool.start_background_refill`) can top the
+pool up below a low-water mark while the main thread keeps draining it.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 from repro.crypto.paillier import PaillierCiphertext, PaillierPublicKey
@@ -37,6 +42,10 @@ class PrecomputedEncryptionPool:
         Initial number of precomputed factors.
     rng:
         Randomness for the blinding bases.
+
+    Thread safety: ``remaining``, ``refill`` and ``encrypt`` may be
+    called concurrently from multiple threads; the factor list and the
+    rng draws are serialised under an internal lock.
     """
 
     def __init__(
@@ -48,13 +57,27 @@ class PrecomputedEncryptionPool:
         self.public_key = public_key
         self._rng = rng or default_rng()
         self._factors: List[int] = []
+        self._lock = threading.Lock()
+        self._refill_needed = threading.Condition(self._lock)
+        self._refiller: Optional[threading.Thread] = None
+        self._refiller_stop = False
+        self._low_water = 0
+        self._refill_batch = 0
+        self._total_precomputed = 0
         if size:
             self.refill(size)
 
     @property
     def remaining(self) -> int:
         """Number of online encryptions the pool can still serve."""
-        return len(self._factors)
+        with self._lock:
+            return len(self._factors)
+
+    @property
+    def total_precomputed(self) -> int:
+        """Factors ever precomputed (offline-work accounting)."""
+        with self._lock:
+            return self._total_precomputed
 
     def refill(self, count: int) -> None:
         """Offline phase: precompute ``count`` more blinding factors."""
@@ -63,8 +86,15 @@ class PrecomputedEncryptionPool:
         n = self.public_key.n
         n_squared = self.public_key.n_squared
         for _ in range(count):
-            nonce = self._rng.random_unit(n)
-            self._factors.append(pow(nonce, n, n_squared))
+            # Draw and store under the lock so concurrent refillers
+            # interleave cleanly; the exponentiation itself runs
+            # unlocked (it dominates the cost and touches no state).
+            with self._lock:
+                nonce = self._rng.random_unit(n)
+            factor = pow(nonce, n, n_squared)
+            with self._lock:
+                self._factors.append(factor)
+                self._total_precomputed += 1
 
     def encrypt(self, value: int) -> PaillierCiphertext:
         """Online phase: two modular multiplications per encryption.
@@ -73,12 +103,21 @@ class PrecomputedEncryptionPool:
         the caller decides whether to refill (more offline work) or to
         pay the full exponentiation via :meth:`encrypt_fallback`.
         """
-        if not self._factors:
-            raise PoolExhaustedError(
-                "no precomputed factors left; call refill() or "
-                "encrypt_fallback()"
+        with self._lock:
+            if not self._factors:
+                raise PoolExhaustedError(
+                    f"precomputed encryption pool exhausted: 0 of "
+                    f"{self._total_precomputed} precomputed factors remain; "
+                    f"call refill() for more offline work or "
+                    f"encrypt_fallback() to pay the full exponentiation"
+                )
+            factor = self._factors.pop()
+            low = (
+                self._low_water > 0
+                and len(self._factors) < self._low_water
             )
-        factor = self._factors.pop()
+            if low:
+                self._refill_needed.notify()
         n = self.public_key.n
         n_squared = self.public_key.n_squared
         plaintext = self.public_key.encode_signed(value)
@@ -87,4 +126,61 @@ class PrecomputedEncryptionPool:
 
     def encrypt_fallback(self, value: int) -> PaillierCiphertext:
         """Full-cost encryption when the pool is dry (explicit opt-in)."""
-        return self.public_key.encrypt(value, rng=self._rng)
+        with self._lock:
+            rng = self._rng
+        return self.public_key.encrypt(value, rng=rng)
+
+    # -- background refill ---------------------------------------------------
+
+    def start_background_refill(
+        self, low_water: int, batch: int = 0
+    ) -> None:
+        """Keep the pool topped up from a daemon thread.
+
+        Whenever :meth:`encrypt` drains the pool below ``low_water``,
+        the refiller precomputes ``batch`` more factors (default: up to
+        ``2 * low_water``). Idempotent; call :meth:`stop_background_refill`
+        to shut the thread down (it also dies with the process -- it is
+        a daemon).
+        """
+        if low_water <= 0:
+            raise ValueError(f"low_water must be positive, got {low_water}")
+        with self._lock:
+            self._low_water = low_water
+            self._refill_batch = batch if batch > 0 else 2 * low_water
+            if self._refiller is not None and self._refiller.is_alive():
+                return
+            self._refiller_stop = False
+            self._refiller = threading.Thread(
+                target=self._refill_loop,
+                name="paillier-pool-refiller",
+                daemon=True,
+            )
+            self._refiller.start()
+
+    def stop_background_refill(self, timeout: float = 5.0) -> None:
+        """Stop the refiller thread and wait for it to exit."""
+        with self._lock:
+            if self._refiller is None:
+                return
+            self._refiller_stop = True
+            self._refill_needed.notify_all()
+            thread = self._refiller
+        thread.join(timeout=timeout)
+        with self._lock:
+            self._refiller = None
+
+    def _refill_loop(self) -> None:
+        while True:
+            with self._lock:
+                while (
+                    not self._refiller_stop
+                    and len(self._factors) >= self._low_water
+                ):
+                    # Re-check periodically too: a burst may drain the
+                    # pool between the notify and this thread waking.
+                    self._refill_needed.wait(timeout=0.1)
+                if self._refiller_stop:
+                    return
+                deficit = self._refill_batch - len(self._factors)
+            self.refill(max(deficit, 1))

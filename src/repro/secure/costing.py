@@ -188,17 +188,24 @@ def add_dot_product(
     trace: ExecutionTrace, nonzero_weights: int, sizes: ProtocolSizes
 ) -> None:
     """Server-side costs of one encrypted dot product (ciphertexts
-    already delivered)."""
-    trace.count(Op.PAILLIER_ENCRYPT, 1)               # offset accumulator
+    already delivered).
+
+    The accumulator is seeded from the first nonzero term, so the only
+    fresh encryption happens in the degenerate all-zero-weights case;
+    the plaintext offset folds in as one extra addition.
+    """
+    if nonzero_weights == 0:
+        trace.count(Op.PAILLIER_ENCRYPT, 1)           # offset accumulator
+        return
     trace.count(Op.PAILLIER_SCALAR_MUL, nonzero_weights)
-    trace.count(Op.PAILLIER_ADD, nonzero_weights)
+    trace.count(Op.PAILLIER_ADD, nonzero_weights)     # terms - 1, + offset
 
 
 def add_indicator_lookup(
     trace: ExecutionTrace, domain_size: int, sizes: ProtocolSizes
 ) -> None:
-    """Server-side costs of one indicator-vector table lookup."""
-    trace.count(Op.PAILLIER_ENCRYPT, 1)
+    """Server-side costs of one indicator-vector table lookup (the
+    accumulator is seeded from the first nonzero table entry)."""
     trace.count(Op.PAILLIER_SCALAR_MUL, domain_size)
     trace.count(Op.PAILLIER_ADD, domain_size)
 

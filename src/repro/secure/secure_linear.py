@@ -37,7 +37,10 @@ from repro.secure.encoding import FixedPointEncoder, score_bound
 from repro.smc.argmax import secure_argmax
 from repro.smc.comparison import sign_test_client_learns
 from repro.smc.context import TwoPartyContext
-from repro.smc.dotproduct import encrypt_feature_vector, encrypted_dot_product
+from repro.smc.dotproduct import (
+    batched_encrypted_dot_products,
+    encrypt_feature_vector,
+)
 from repro.smc.protocol import ExecutionTrace
 
 
@@ -139,18 +142,18 @@ class SecureLinearClassifier(SecureClassifier):
                 winner = offsets.index(best)
             return int(ctx.channel.server_sends(self.classes[winner]))
 
+        # One batch encryption for the hidden values, then one fused
+        # multi-exponentiation dot product per class (client ciphertexts
+        # are reused across classes).
         encrypted_hidden = encrypt_feature_vector(
             ctx, [int(row[i]) for i in hidden]
         )
-        scores = [
-            encrypted_dot_product(
-                ctx,
-                encrypted_hidden,
-                [weights[i] for i in hidden],
-                plaintext_offset=offset,
-            )
-            for weights, offset in zip(self.weight_rows, offsets)
-        ]
+        scores = batched_encrypted_dot_products(
+            ctx,
+            encrypted_hidden,
+            [[weights[i] for i in hidden] for weights in self.weight_rows],
+            offsets,
+        )
 
         if len(scores) == 2:
             # Sign test on score_1 - score_0 >= 0.

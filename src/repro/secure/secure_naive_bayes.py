@@ -124,8 +124,9 @@ class SecureNaiveBayesClassifier(SecureClassifier):
             return int(ctx.channel.server_sends(self.classes[winner]))
 
         # Encrypted scores: start from offsets, add one indicator lookup
-        # per hidden feature per class (indicators shipped once).
-        scores = [ctx.server_encrypt(offset) for offset in offsets]
+        # per hidden feature per class (indicators shipped once). The
+        # per-class offset encryptions run as one engine batch.
+        scores = ctx.server_encrypt_batch(offsets)
         for feature in hidden:
             indicators = encrypt_indicator_vector(
                 ctx, int(row[feature]), self.features[feature].domain_size

@@ -160,12 +160,16 @@ class SecureDecisionTreeClassifier(SecureClassifier):
             assert residual.label is not None
             return int(ctx.channel.server_sends(int(residual.label)))
 
-        # Client encrypts each hidden feature the residual tree uses.
+        # Client encrypts each hidden feature the residual tree uses
+        # (one engine batch).
         used_features = sorted({n.feature for n in _internal_nodes(residual)})
-        encrypted: Dict[int, PaillierCiphertext] = {}
-        ciphertexts = [ctx.client_encrypt(int(row[f])) for f in used_features]
+        ciphertexts = ctx.client_encrypt_batch(
+            [int(row[f]) for f in used_features]
+        )
         ciphertexts = ctx.channel.client_sends(ciphertexts)
-        encrypted = dict(zip(used_features, ciphertexts))
+        encrypted: Dict[int, PaillierCiphertext] = dict(
+            zip(used_features, ciphertexts)
+        )
 
         # One encrypted comparison per residual internal node, all
         # instances batched into a single four-message exchange:
@@ -206,31 +210,44 @@ class SecureDecisionTreeClassifier(SecureClassifier):
 
         collect(residual, zero)
 
-        # Blind, permute, ship.
+        # Blind, permute, ship -- all three bulk shapes (unsigned scalar
+        # multiplications, label adds, re-randomisations) run as engine
+        # batches.
         modulus = ctx.paillier.public_key.n
-        blinded: List[Tuple[PaillierCiphertext, PaillierCiphertext]] = []
-        for cost, label in leaves:
-            rho = 1 + ctx.server_rng.randbelow(modulus - 1)
-            rho_label = 1 + ctx.server_rng.randbelow(modulus - 1)
-            ctx.trace.count(Op.PAILLIER_SCALAR_MUL, 2)
-            ctx.trace.count(Op.PAILLIER_ADD, 1)
-            masked_cost = ctx.rerandomize(cost.mul_unsigned(rho))
-            masked_label = ctx.rerandomize(cost.mul_unsigned(rho_label) + label)
-            ctx.trace.count(Op.PAILLIER_RERANDOMIZE)  # second rerandomise
-            blinded.append((masked_cost, masked_label))
+        costs = [cost for cost, _ in leaves]
+        labels = [label for _, label in leaves]
+        rhos: List[int] = []
+        rho_labels: List[int] = []
+        for _ in leaves:
+            rhos.append(1 + ctx.server_rng.randbelow(modulus - 1))
+            rho_labels.append(1 + ctx.server_rng.randbelow(modulus - 1))
+        masked_costs = ctx.scalar_mul_batch(costs, rhos, signed=False)
+        label_slots = ctx.scalar_mul_batch(costs, rho_labels, signed=False)
+        ctx.trace.count(Op.PAILLIER_ADD, len(leaves))
+        label_slots = [slot + label for slot, label in zip(label_slots, labels)]
+        refreshed = ctx.rerandomize_batch(
+            [ct for pair in zip(masked_costs, label_slots) for ct in pair]
+        )
+        blinded: List[Tuple[PaillierCiphertext, PaillierCiphertext]] = [
+            (refreshed[2 * i], refreshed[2 * i + 1])
+            for i in range(len(leaves))
+        ]
         ctx.server_rng.shuffle(blinded)
         ctx.channel.reset_direction()
         payload = ctx.channel.server_sends(
             [ct for pair in blinded for ct in pair]
         )
 
-        # Client: find the zero cost, read its label.
-        for pair_index in range(0, len(payload), 2):
-            ctx.trace.count(Op.PAILLIER_DECRYPT)
-            if ctx.paillier.private_key.decrypt_raw(payload[pair_index]) == 0:
+        # Client: batch-decrypt the cost list (CRT fast path), then read
+        # the label paired with the single zero cost.
+        raw_costs = ctx.client_decrypt_batch(payload[0::2], signed=False)
+        for pair_index, raw in enumerate(raw_costs):
+            if raw == 0:
                 ctx.trace.count(Op.PAILLIER_DECRYPT)
                 return int(
-                    ctx.paillier.private_key.decrypt_raw(payload[pair_index + 1])
+                    ctx.paillier.private_key.decrypt_raw(
+                        payload[2 * pair_index + 1]
+                    )
                 )
         raise SecureClassificationError(
             "no leaf path matched; residual tree evaluation is inconsistent"

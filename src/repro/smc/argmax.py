@@ -94,10 +94,9 @@ def secure_argmax(
         blind_challenger = ctx.blinding_noise(bit_length)
         ctx.trace.count(Op.PAILLIER_ADD, 2)
         blinded_pair = ctx.channel.server_sends(
-            [
-                ctx.rerandomize(current_max + blind_max),
-                ctx.rerandomize(challenger + blind_challenger),
-            ]
+            ctx.rerandomize_batch(
+                [current_max + blind_max, challenger + blind_challenger]
+            )
         )
 
         chosen = blinded_pair[1] if bit else blinded_pair[0]

@@ -14,9 +14,10 @@ single :class:`~repro.smc.protocol.ExecutionTrace`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.crypto.dgk import DgkKeyPair
+from repro.crypto.engine import CryptoEngine, make_engine
 from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
 from repro.crypto.rand import DeterministicRandom, fresh_rng
 from repro.smc.network import Channel
@@ -44,6 +45,12 @@ class TwoPartyContext:
     statistical_security_bits:
         Width of additive blinding noise (``kappa``); blinded values are
         statistically indistinguishable from uniform up to ``2^-kappa``.
+    engine:
+        The batch crypto engine executing bulk Paillier work. The
+        default serial engine reproduces the reference behaviour; a
+        parallel engine (``make_engine("parallel", workers)``) fans the
+        big-int exponentiations out across processes while producing
+        byte-identical ciphertexts and identical traces.
     """
 
     channel: Channel
@@ -52,6 +59,7 @@ class TwoPartyContext:
     client_rng: DeterministicRandom
     server_rng: DeterministicRandom
     statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS
+    engine: CryptoEngine = field(default_factory=CryptoEngine)
 
     @property
     def trace(self) -> ExecutionTrace:
@@ -96,6 +104,58 @@ class TwoPartyContext:
         rng = rng or self.server_rng
         return rng.getrandbits(payload_bits + self.statistical_security_bits)
 
+    # -- counted batch paths (dispatched to the engine) -----------------
+
+    def client_encrypt_batch(
+        self, values: Sequence[int]
+    ) -> List[PaillierCiphertext]:
+        """Client-side batch encryption; one counted op per value.
+
+        Nonces come from ``client_rng`` in input order, so the batch is
+        transcript-identical to a loop of :meth:`client_encrypt`.
+        """
+        self.trace.count(Op.PAILLIER_ENCRYPT, len(values))
+        return self.engine.encrypt_batch(
+            self.paillier.public_key, values, rng=self.client_rng
+        )
+
+    def server_encrypt_batch(
+        self, values: Sequence[int]
+    ) -> List[PaillierCiphertext]:
+        """Server-side batch encryption under the client's key."""
+        self.trace.count(Op.PAILLIER_ENCRYPT, len(values))
+        return self.engine.encrypt_batch(
+            self.paillier.public_key, values, rng=self.server_rng
+        )
+
+    def client_decrypt_batch(
+        self, ciphertexts: Sequence[PaillierCiphertext], signed: bool = True
+    ) -> List[int]:
+        """Client-side batch decryption (CRT fast path when available)."""
+        self.trace.count(Op.PAILLIER_DECRYPT, len(ciphertexts))
+        return self.engine.decrypt_batch(
+            self.paillier.private_key, ciphertexts, signed=signed
+        )
+
+    def scalar_mul_batch(
+        self,
+        ciphertexts: Sequence[PaillierCiphertext],
+        scalars: Sequence[int],
+        signed: bool = True,
+    ) -> List[PaillierCiphertext]:
+        """Batch homomorphic scalar multiplication, counted per element."""
+        self.trace.count(Op.PAILLIER_SCALAR_MUL, len(ciphertexts))
+        return self.engine.scalar_mul_batch(ciphertexts, scalars, signed=signed)
+
+    def rerandomize_batch(
+        self, ciphertexts: Sequence[PaillierCiphertext], rng=None
+    ) -> List[PaillierCiphertext]:
+        """Batch re-randomisation, counted per element."""
+        self.trace.count(Op.PAILLIER_RERANDOMIZE, len(ciphertexts))
+        return self.engine.rerandomize_batch(
+            ciphertexts, rng=rng or self.server_rng
+        )
+
 
 def make_context(
     seed: int = 0,
@@ -104,12 +164,18 @@ def make_context(
     dgk_plaintext_bits: int = 16,
     statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS,
     channel: Optional[Channel] = None,
+    engine: Optional[CryptoEngine] = None,
+    engine_backend: str = "serial",
+    engine_workers: Optional[int] = None,
 ) -> TwoPartyContext:
     """Build a ready-to-use session context with freshly generated keys.
 
     The single ``seed`` deterministically derives the key material and
     both parties' randomness streams, so a whole protocol transcript is
-    reproducible from one integer.
+    reproducible from one integer. The engine backend only changes *how*
+    batch work executes, never the transcript: ``engine_backend=
+    "parallel"`` (optionally with ``engine_workers``) produces the same
+    ciphertexts and trace as the serial default.
     """
     master = fresh_rng(seed)
     paillier = PaillierKeyPair.generate(key_bits=paillier_bits, rng=master)
@@ -123,4 +189,5 @@ def make_context(
         client_rng=master.fork(),
         server_rng=master.fork(),
         statistical_security_bits=statistical_security_bits,
+        engine=engine or make_engine(engine_backend, workers=engine_workers),
     )

@@ -30,9 +30,11 @@ def encrypt_feature_vector(
 ) -> List[PaillierCiphertext]:
     """Client-side: encrypt hidden feature values and send them.
 
-    Returns the ciphertext list as received by the server.
+    Returns the ciphertext list as received by the server. The batch
+    runs on the context's engine (process-parallel when configured) and
+    is transcript-identical to encrypting one value at a time.
     """
-    ciphertexts = [ctx.client_encrypt(v) for v in values]
+    ciphertexts = ctx.client_encrypt_batch(list(values))
     if not ciphertexts:
         return []
     ctx.channel.reset_direction()
@@ -62,12 +64,20 @@ def encrypted_dot_product(
         raise DotProductError(
             f"{len(encrypted_values)} ciphertexts vs {len(weights)} weights"
         )
-    accumulator = ctx.server_encrypt(plaintext_offset)
-    for ciphertext, weight in zip(encrypted_values, weights):
-        if weight == 0:
-            continue
-        term = ctx.scalar_mul(ciphertext, weight)
-        accumulator = ctx.add(accumulator, term)
+    nonzero = sum(1 for weight in weights if weight != 0)
+    if nonzero == 0:
+        # Nothing to fold homomorphically; the offset needs a fresh
+        # (randomised) encryption to stay hiding.
+        return ctx.server_encrypt(plaintext_offset)
+    # Fused simultaneous multi-exponentiation over the nonzero terms.
+    # The accumulator is seeded from the first nonzero term instead of
+    # an encryption of the offset, so a dot product costs zero fresh
+    # encryptions; the offset folds in as one plaintext addition.
+    ctx.trace.count(Op.PAILLIER_SCALAR_MUL, nonzero)
+    ctx.trace.count(Op.PAILLIER_ADD, nonzero - 1)
+    accumulator = ctx.engine.dot_product(encrypted_values, weights)
+    if plaintext_offset != 0:
+        accumulator = ctx.add(accumulator, plaintext_offset)
     return accumulator
 
 

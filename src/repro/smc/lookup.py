@@ -41,10 +41,9 @@ def encrypt_indicator_vector(
         raise LookupError_(
             f"value index {value_index} outside domain of size {domain_size}"
         )
-    indicators = [
-        ctx.client_encrypt(1 if j == value_index else 0)
-        for j in range(domain_size)
-    ]
+    indicators = ctx.client_encrypt_batch(
+        [1 if j == value_index else 0 for j in range(domain_size)]
+    )
     ctx.channel.reset_direction()
     return ctx.channel.client_sends(indicators)
 
@@ -61,13 +60,14 @@ def indicator_lookup(
             f"{len(encrypted_indicators)} indicators vs "
             f"{len(table_column)} table entries"
         )
-    accumulator = ctx.server_encrypt(0)
-    for indicator, entry in zip(encrypted_indicators, table_column):
-        if entry == 0:
-            continue
-        term = ctx.scalar_mul(indicator, entry)
-        accumulator = ctx.add(accumulator, term)
-    return accumulator
+    nonzero = sum(1 for entry in table_column if entry != 0)
+    if nonzero == 0:
+        return ctx.server_encrypt(0)
+    # Fused multi-exponentiation; seeded from the first nonzero entry,
+    # so no fresh encryption is spent on the accumulator.
+    ctx.trace.count(Op.PAILLIER_SCALAR_MUL, nonzero)
+    ctx.trace.count(Op.PAILLIER_ADD, nonzero - 1)
+    return ctx.engine.dot_product(encrypted_indicators, table_column)
 
 
 def ot_lookup_shares(

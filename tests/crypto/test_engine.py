@@ -1,0 +1,243 @@
+"""Tests for the batch crypto engine: serial/parallel parity, CRT
+decryption equivalence, and fused dot products."""
+
+import pytest
+
+from repro.crypto.engine import (
+    CryptoEngine,
+    EngineError,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_engine,
+)
+from repro.crypto.paillier import PaillierPrivateKey
+from repro.crypto.rand import fresh_rng
+from repro.smc.argmax import secure_argmax
+from repro.smc.context import make_context
+from repro.smc.dotproduct import encrypt_feature_vector, encrypted_dot_product
+
+from tests.conftest import TEST_DGK_BITS, TEST_PAILLIER_BITS
+
+
+@pytest.fixture(scope="module")
+def parallel_engine():
+    engine = make_engine("parallel", workers=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def serial_engine():
+    return make_engine("serial")
+
+
+class TestFactory:
+    def test_backend_names(self, serial_engine, parallel_engine):
+        assert serial_engine.backend_name == "serial"
+        assert parallel_engine.backend_name == "parallel"
+        assert parallel_engine.workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EngineError):
+            make_engine("gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(EngineError):
+            ProcessPoolBackend(workers=0)
+
+
+class TestSerialParallelParity:
+    """The parallel backend must be bit-identical to the serial one
+    under a fixed DeterministicRandom seed."""
+
+    def test_encrypt_batch_identical_ciphertexts(
+        self, paillier_keys, serial_engine, parallel_engine
+    ):
+        values = list(range(-30, 30))
+        serial = serial_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(42)
+        )
+        parallel = parallel_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(42)
+        )
+        assert [ct.value for ct in serial] == [ct.value for ct in parallel]
+
+    def test_encrypt_batch_matches_single_encrypt_loop(
+        self, paillier_keys, serial_engine
+    ):
+        values = [5, -3, 0, 17]
+        batch = serial_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(9)
+        )
+        rng = fresh_rng(9)
+        loop = [paillier_keys.public_key.encrypt(v, rng=rng) for v in values]
+        assert [ct.value for ct in batch] == [ct.value for ct in loop]
+
+    def test_decrypt_batch_round_trip(
+        self, paillier_keys, serial_engine, parallel_engine
+    ):
+        values = [0, 1, -1, 123456, -654321]
+        cts = serial_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(3)
+        )
+        assert serial_engine.decrypt_batch(paillier_keys.private_key, cts) \
+            == values
+        assert parallel_engine.decrypt_batch(paillier_keys.private_key, cts) \
+            == values
+
+    def test_scalar_mul_batch_matches_operator(
+        self, paillier_keys, serial_engine, parallel_engine
+    ):
+        values = [4, -2, 9, 1, 0]
+        scalars = [3, -5, 0, 7, -1]
+        cts = serial_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(4)
+        )
+        reference = [ct * s for ct, s in zip(cts, scalars)]
+        for engine in (serial_engine, parallel_engine):
+            result = engine.scalar_mul_batch(cts, scalars)
+            assert [r.value for r in result] == [r.value for r in reference]
+
+    def test_rerandomize_batch_parity_and_plaintext(
+        self, paillier_keys, serial_engine, parallel_engine
+    ):
+        values = [7, -7, 0, 99]
+        cts = serial_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(5)
+        )
+        serial = serial_engine.rerandomize_batch(cts, rng=fresh_rng(6))
+        parallel = parallel_engine.rerandomize_batch(cts, rng=fresh_rng(6))
+        assert [ct.value for ct in serial] == [ct.value for ct in parallel]
+        assert all(a.value != b.value for a, b in zip(cts, serial))
+        assert serial_engine.decrypt_batch(
+            paillier_keys.private_key, serial
+        ) == values
+
+    def test_dot_product_parity_and_value(
+        self, paillier_keys, serial_engine, parallel_engine
+    ):
+        values = list(range(-16, 16))
+        weights = [((i * 37) % 23) - 11 for i in range(32)]
+        cts = serial_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(8)
+        )
+        serial = serial_engine.dot_product(cts, weights)
+        parallel = parallel_engine.dot_product(cts, weights)
+        assert serial.value == parallel.value
+        expected = sum(w * v for w, v in zip(weights, values))
+        assert paillier_keys.private_key.decrypt(serial) == expected
+
+    def test_dot_product_all_zero_weights_is_none(
+        self, paillier_keys, serial_engine
+    ):
+        cts = serial_engine.encrypt_batch(
+            paillier_keys.public_key, [1, 2], rng=fresh_rng(10)
+        )
+        assert serial_engine.dot_product(cts, [0, 0]) is None
+
+    def test_length_mismatch_rejected(self, paillier_keys, serial_engine):
+        cts = serial_engine.encrypt_batch(
+            paillier_keys.public_key, [1], rng=fresh_rng(11)
+        )
+        with pytest.raises(EngineError):
+            serial_engine.dot_product(cts, [1, 2])
+        with pytest.raises(EngineError):
+            serial_engine.scalar_mul_batch(cts, [1, 2])
+
+    def test_empty_batches(self, paillier_keys, serial_engine):
+        assert serial_engine.encrypt_batch(
+            paillier_keys.public_key, []
+        ) == []
+        assert serial_engine.decrypt_batch(
+            paillier_keys.private_key, []
+        ) == []
+        assert serial_engine.rerandomize_batch([]) == []
+
+
+class TestCrtDecryption:
+    """CRT decryption must agree with the standard path everywhere,
+    including the signed-encoding edges."""
+
+    def edge_values(self, public_key):
+        bound = public_key.signed_bound
+        return [0, 1, -1, 2, -2, bound - 1, -(bound - 1), 10**9, -(10**9)]
+
+    def test_crt_equals_standard_on_edges(self, paillier_keys):
+        rng = fresh_rng(21)
+        private = paillier_keys.private_key
+        assert private.has_crt
+        for value in self.edge_values(paillier_keys.public_key):
+            ct = paillier_keys.public_key.encrypt(value, rng=rng)
+            assert private.decrypt_raw_crt(ct) == \
+                private.decrypt_raw_standard(ct)
+            assert private.decrypt(ct) == value
+
+    def test_key_without_factors_falls_back(self, paillier_keys):
+        stripped = PaillierPrivateKey(
+            public_key=paillier_keys.public_key,
+            lam=paillier_keys.private_key.lam,
+            mu=paillier_keys.private_key.mu,
+        )
+        assert not stripped.has_crt
+        ct = paillier_keys.public_key.encrypt(-777, rng=fresh_rng(22))
+        assert stripped.decrypt(ct) == -777
+        engine = CryptoEngine(SerialBackend())
+        assert engine.decrypt_batch(stripped, [ct]) == [-777]
+
+    def test_batch_decrypt_uses_crt_consistently(self, paillier_keys):
+        engine = CryptoEngine(SerialBackend())
+        values = self.edge_values(paillier_keys.public_key)
+        cts = engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(23)
+        )
+        assert engine.decrypt_batch(paillier_keys.private_key, cts) == values
+
+
+class TestContextParity:
+    """Serial- and parallel-engine sessions with the same seed must
+    produce identical ciphertexts, results and traces."""
+
+    @pytest.fixture(scope="class")
+    def contexts(self):
+        kwargs = dict(
+            seed=33,
+            paillier_bits=TEST_PAILLIER_BITS,
+            dgk_bits=TEST_DGK_BITS,
+            dgk_plaintext_bits=16,
+        )
+        serial_ctx = make_context(engine_backend="serial", **kwargs)
+        parallel_ctx = make_context(
+            engine_backend="parallel", engine_workers=2, **kwargs
+        )
+        yield serial_ctx, parallel_ctx
+        parallel_ctx.engine.close()
+
+    def test_dot_product_protocol_parity(self, contexts):
+        serial_ctx, parallel_ctx = contexts
+        xs = [3, -4, 5, 0, 7, -1]
+        weights = [2, 0, -3, 4, 1, 6]
+        expected = sum(w * x for w, x in zip(weights, xs)) + 11
+        outputs = []
+        for ctx in (serial_ctx, parallel_ctx):
+            # Both contexts run the exact same protocol steps so their
+            # traces stay comparable in the next test.
+            encs = encrypt_feature_vector(ctx, xs)
+            score = encrypted_dot_product(ctx, encs, weights,
+                                          plaintext_offset=11)
+            assert ctx.client_decrypt_batch([score]) == [expected]
+            outputs.append(([ct.value for ct in encs], score.value))
+        assert outputs[0] == outputs[1]
+
+    def test_argmax_and_trace_summaries_identical(self, contexts):
+        serial_ctx, parallel_ctx = contexts
+        scores = [9, 40, 23, 31]
+        winners = []
+        summaries = []
+        for ctx in (serial_ctx, parallel_ctx):
+            encrypted = ctx.server_encrypt_batch(scores)
+            winners.append(secure_argmax(ctx, encrypted, bit_length=8))
+            summary = ctx.trace.summary()
+            summary.pop("wall_seconds")
+            summaries.append(summary)
+        assert winners[0] == winners[1] == 1
+        assert summaries[0] == summaries[1]

@@ -1,5 +1,6 @@
 """Tests for the Paillier precomputation pool."""
 
+import threading
 import time
 
 import pytest
@@ -65,6 +66,120 @@ class TestPoolManagement:
         )
         ct = pool.encrypt_fallback(99)
         assert paillier_keys.private_key.decrypt(ct) == 99
+
+
+class TestThreadSafety:
+    def test_exhaustion_message_includes_pool_size(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=3, rng=fresh_rng(31)
+        )
+        for i in range(3):
+            pool.encrypt(i)
+        with pytest.raises(PoolExhaustedError, match="0 of 3"):
+            pool.encrypt(99)
+
+    def test_concurrent_drain_uses_each_factor_once(self, paillier_keys):
+        count = 40
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=count, rng=fresh_rng(32)
+        )
+        results, errors = [], []
+        lock = threading.Lock()
+
+        def drain():
+            while True:
+                try:
+                    ct = pool.encrypt(7)
+                except PoolExhaustedError:
+                    return
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    with lock:
+                        errors.append(exc)
+                    return
+                with lock:
+                    results.append(ct.value)
+
+        threads = [threading.Thread(target=drain) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every factor served exactly one encryption: all ciphertexts
+        # distinct, pool empty, nothing lost to races.
+        assert len(results) == count
+        assert len(set(results)) == count
+        assert pool.remaining == 0
+
+    def test_concurrent_refill_and_drain(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=10, rng=fresh_rng(33)
+        )
+        stop = threading.Event()
+
+        def refiller():
+            while not stop.is_set():
+                pool.refill(2)
+
+        thread = threading.Thread(target=refiller)
+        thread.start()
+        try:
+            served = 0
+            for i in range(50):
+                try:
+                    pool.encrypt(i)
+                    served += 1
+                except PoolExhaustedError:
+                    pass
+            assert served > 0
+        finally:
+            stop.set()
+            thread.join()
+        assert pool.total_precomputed >= 10
+
+
+class TestBackgroundRefill:
+    def test_refiller_tops_up_below_low_water(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=6, rng=fresh_rng(34)
+        )
+        pool.start_background_refill(low_water=4, batch=8)
+        try:
+            for i in range(5):
+                pool.encrypt(i)
+            deadline = time.monotonic() + 10.0
+            while pool.remaining < 4 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert pool.remaining >= 4
+            assert pool.total_precomputed > 6
+        finally:
+            pool.stop_background_refill()
+
+    def test_background_refill_encryptions_stay_correct(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=4, rng=fresh_rng(35)
+        )
+        pool.start_background_refill(low_water=3, batch=6)
+        try:
+            for value in (-9, 0, 9, 1234, -4321, 77, -77, 5):
+                deadline = time.monotonic() + 10.0
+                while pool.remaining == 0 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                ct = pool.encrypt(value)
+                assert paillier_keys.private_key.decrypt(ct) == value
+        finally:
+            pool.stop_background_refill()
+
+    def test_start_is_idempotent_and_stop_joins(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=2, rng=fresh_rng(36)
+        )
+        pool.start_background_refill(low_water=1)
+        pool.start_background_refill(low_water=1)
+        pool.stop_background_refill()
+        pool.stop_background_refill()  # no-op on a stopped pool
+        with pytest.raises(ValueError):
+            pool.start_background_refill(low_water=0)
 
 
 class TestSpeed:

@@ -7,7 +7,11 @@ Commands
 ``tradeoff``
     Sweep privacy budgets and print the speedup curve.
 ``classify``
-    Run live hybrid (disclose-then-SMC) classifications.
+    Run live hybrid (disclose-then-SMC) classifications, either through
+    the in-process transport or over a real localhost TCP socket
+    (``--transport tcp``).
+``serve``
+    Serve a saved deployment bundle over a TCP socket.
 ``attack``
     Run the Fredrikson-style model-inversion escalation.
 ``calibrate``
@@ -25,6 +29,7 @@ from typing import List, Optional, Sequence
 from repro import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
 from repro.bench import Table
 from repro.crypto.engine import BACKENDS as ENGINE_BACKENDS
+from repro.smc.transport import TRANSPORT_BACKENDS
 from repro.data import (
     generate_adult_like,
     generate_cancer_like,
@@ -72,6 +77,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="privacy budget (default 0.05)")
     classify.add_argument("--rows", type=int, default=3,
                           help="number of test rows to classify live")
+    classify.add_argument(
+        "--transport", choices=TRANSPORT_BACKENDS, default="inproc",
+        help="wire backend: 'inproc' round-trips every message through "
+             "the canonical codec in-process; 'tcp' ships every message "
+             "over a localhost socket to a peer process (default inproc)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="serve a saved deployment bundle over TCP"
+    )
+    serve.add_argument("--bundle", required=True,
+                       help="path to a deployment bundle JSON")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: ephemeral, printed)")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="stop after this many connections "
+                            "(default: serve forever)")
 
     attack = commands.add_parser(
         "attack", help="model-inversion escalation (Fredrikson-style)"
@@ -104,6 +128,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "tradeoff": _cmd_tradeoff,
         "classify": _cmd_classify,
+        "serve": _cmd_serve,
         "attack": _cmd_attack,
         "calibrate": _cmd_calibrate,
     }[args.command]
@@ -145,6 +170,11 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.smc import wire
+    from repro.smc.transport import (
+        InProcessTransport, TcpTransport, start_wire_peer,
+    )
+
     pipeline, train, test = _fitted_pipeline(args)
     solution = pipeline.select_disclosure(args.budget)
     names = [train.features[i].name for i in solution.disclosed]
@@ -152,16 +182,60 @@ def _cmd_classify(args: argparse.Namespace) -> int:
           f"{', '.join(names) or '(nothing)'}")
     print(f"modeled speedup over pure SMC: {pipeline.speedup():.1f}x")
     ctx = pipeline.make_context(seed=args.seed + 1)
+    codec = wire.codec_for_context(ctx)
+    peer = None
+    if args.transport == "tcp":
+        peer, port = start_wire_peer()
+        transport = TcpTransport(port=port, codec=codec)
+        print(f"transport: tcp (peer process on 127.0.0.1:{port})")
+    else:
+        transport = InProcessTransport(codec)
+        print("transport: inproc (canonical codec round-trip)")
+    ctx.channel.transport = transport
     mismatches = 0
-    for row_id, row in enumerate(test.X[: args.rows]):
-        label = pipeline.classify(row, ctx=ctx)
-        expected = pipeline.secure_model.predict_quantized(row)
-        mismatches += label != expected
-        print(f"row {row_id}: secure={label} plaintext={expected} "
-              f"{'OK' if label == expected else 'MISMATCH'}")
-    print(f"traffic: {ctx.trace.total_bytes} bytes over "
-          f"{ctx.trace.rounds} rounds")
+    try:
+        for row_id, row in enumerate(test.X[: args.rows]):
+            label = pipeline.classify(row, ctx=ctx)
+            expected = pipeline.secure_model.predict_quantized(row)
+            mismatches += label != expected
+            print(f"row {row_id}: secure={label} plaintext={expected} "
+                  f"{'OK' if label == expected else 'MISMATCH'}")
+        print(f"traffic: {ctx.trace.total_bytes} bytes over "
+              f"{ctx.trace.rounds} rounds")
+        measured = transport.stats.total_bytes
+        if measured != ctx.trace.total_bytes:
+            print(f"WARNING: transport measured {measured} bytes; "
+                  f"accounting disagrees")
+            mismatches += 1
+        elif args.transport == "tcp":
+            peer_counts = transport.peer_stats()
+            print(f"measured on the socket: {measured} bytes "
+                  f"({transport.stats.frames} frames; peer saw "
+                  f"{peer_counts['bytes_received']} bytes) -- matches "
+                  f"the trace exactly")
+    finally:
+        if peer is not None:
+            transport.close(shutdown_peer=True)
+            peer.join(timeout=10)
     return 1 if mismatches else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import socket
+
+    from repro.core.serialization import load_deployment
+
+    deployed = load_deployment(args.bundle)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((args.host, args.port))
+    listener.listen(4)
+    host, port = listener.getsockname()
+    print(f"serving {args.bundle} ({deployed.kind}) on {host}:{port}",
+          flush=True)
+    with listener:
+        deployed.serve(listener, max_connections=args.max_connections)
+    return 0
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:

@@ -205,6 +205,18 @@ class DeployedClassifier:
         """One live hybrid query under the shipped disclosure policy."""
         return self.secure_model.classify(ctx, np.asarray(row), self.disclosure)
 
+    def serve(self, listener, max_connections: Optional[int] = None) -> None:
+        """Serve classification queries over an already-bound socket.
+
+        Every protocol message of each query crosses the socket to the
+        connecting client process; see
+        :func:`repro.smc.transport.serve_deployment` for the session
+        protocol.
+        """
+        from repro.smc.transport import serve_deployment
+
+        serve_deployment(self, listener, max_connections=max_connections)
+
 
 def deployment_to_dict(pipeline: PrivacyAwareClassifier) -> Dict:
     """The JSON-ready bundle for a fitted, disclosure-selected pipeline."""

@@ -159,3 +159,15 @@ class GMCiphertext:
     def serialized_size_bytes(self) -> int:
         """Wire size of this ciphertext in bytes."""
         return (self.public_key.n.bit_length() + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        """Canonical fixed-width big-endian encoding of the ciphertext."""
+        return self.value.to_bytes(self.serialized_size_bytes(), "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, public_key: GMPublicKey) -> "GMCiphertext":
+        """Inverse of :meth:`to_bytes` under the given public key."""
+        value = int.from_bytes(data, "big")
+        if not 0 < value < public_key.n:
+            raise GMError(f"decoded ciphertext outside Z_n ({len(data)} bytes)")
+        return cls(public_key=public_key, value=value)

@@ -371,3 +371,24 @@ class PaillierCiphertext:
         Used by the network simulator's byte accounting.
         """
         return (self.public_key.n_squared.bit_length() + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        """Canonical fixed-width big-endian encoding of the ciphertext.
+
+        Fixed width (the size of ``Z_{n^2}``) so message lengths leak
+        nothing about the underlying group element.
+        """
+        return self.value.to_bytes(self.serialized_size_bytes(), "big")
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, public_key: PaillierPublicKey
+    ) -> "PaillierCiphertext":
+        """Inverse of :meth:`to_bytes` under the given public key."""
+        value = int.from_bytes(data, "big")
+        if not 0 < value < public_key.n_squared:
+            raise PaillierError(
+                f"decoded ciphertext outside Z_{{n^2}} "
+                f"({len(data)} bytes)"
+            )
+        return cls(public_key=public_key, value=value)

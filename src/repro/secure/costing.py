@@ -21,11 +21,27 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.smc.protocol import ExecutionTrace, Op
+from repro.smc.wire import ELEMENT_OVERHEAD, FRAME_OVERHEAD
+
+#: Wire element of a small non-negative integer (tag + u32 + 1-byte body):
+#: shares, labels, feature values, OT indices below 128.
+SMALL_INT_BYTES = ELEMENT_OVERHEAD + 1
+
+#: Wire overhead of one list/tuple element (tag + u32 count).
+LIST_OVERHEAD = ELEMENT_OVERHEAD
 
 
 @dataclass(frozen=True)
 class ProtocolSizes:
-    """Key-size parameters that determine ciphertext wire sizes."""
+    """Key-size parameters that determine ciphertext wire sizes.
+
+    All ``*_wire_bytes`` quantities are *element* sizes under the
+    canonical codec (:mod:`repro.smc.wire`): tag byte + u32 length +
+    body. Message formulas add :data:`~repro.smc.wire.FRAME_OVERHEAD`
+    once per message and :data:`LIST_OVERHEAD` per (nested) list, so the
+    analytic traces equal the live channel accounting -- and therefore
+    the bytes observed on a real socket -- exactly.
+    """
 
     paillier_bits: int = 512
     dgk_bits: int = 256
@@ -33,18 +49,29 @@ class ProtocolSizes:
 
     @property
     def paillier_ct_bytes(self) -> int:
-        """A Paillier ciphertext is an element of ``Z_{n^2}``."""
+        """A Paillier ciphertext body: an element of ``Z_{n^2}``."""
         return self.paillier_bits // 4
 
     @property
     def dgk_ct_bytes(self) -> int:
-        """A DGK ciphertext is an element of ``Z_n``."""
+        """A DGK ciphertext body: an element of ``Z_n``."""
         return self.dgk_bits // 8
 
     @property
+    def paillier_ct_wire_bytes(self) -> int:
+        """A Paillier ciphertext element on the wire."""
+        return ELEMENT_OVERHEAD + self.paillier_ct_bytes
+
+    @property
+    def dgk_ct_wire_bytes(self) -> int:
+        """A DGK ciphertext element on the wire."""
+        return ELEMENT_OVERHEAD + self.dgk_ct_bytes
+
+    @property
     def blind_bytes(self) -> int:
-        """Approximate size of an additive blinding value on the wire."""
-        return (self.statistical_security_bits + 16) // 8 + 4
+        """Wire element of a revealed blinding quotient ``r >> l``:
+        a ``kappa + 1``-bit integer in two's-complement encoding."""
+        return ELEMENT_OVERHEAD + (self.statistical_security_bits + 1) // 8 + 1
 
 
 def add_dgk_compare(trace: ExecutionTrace, bits: int, sizes: ProtocolSizes) -> None:
@@ -55,8 +82,9 @@ def add_dgk_compare(trace: ExecutionTrace, bits: int, sizes: ProtocolSizes) -> N
     trace.count(Op.DGK_ADD, width // 2 + 3 * width)  # xor(E[w/2]) + suffix + c_i
     trace.count(Op.DGK_SCALAR_MUL, 2 * width)
     trace.count(Op.DGK_ZERO_TEST, width)
-    trace.bytes_client_to_server += width * sizes.dgk_ct_bytes + 4
-    trace.bytes_server_to_client += width * sizes.dgk_ct_bytes + 4
+    per_direction = FRAME_OVERHEAD + LIST_OVERHEAD + width * sizes.dgk_ct_wire_bytes
+    trace.bytes_client_to_server += per_direction
+    trace.bytes_server_to_client += per_direction
     trace.messages += 2
     trace.rounds += 2
 
@@ -67,7 +95,7 @@ def _add_blind_and_split(trace: ExecutionTrace, sizes: ProtocolSizes) -> None:
     trace.count(Op.PAILLIER_ADD)
     trace.count(Op.PAILLIER_RERANDOMIZE)
     trace.count(Op.PAILLIER_DECRYPT)
-    trace.bytes_server_to_client += sizes.paillier_ct_bytes
+    trace.bytes_server_to_client += FRAME_OVERHEAD + sizes.paillier_ct_wire_bytes
     trace.messages += 1
     trace.rounds += 1
 
@@ -79,7 +107,9 @@ def add_compare_encrypted(
     _add_blind_and_split(trace, sizes)
     add_dgk_compare(trace, bits, sizes)
     trace.count(Op.PAILLIER_ENCRYPT, 2)           # d_high, borrow share
-    trace.bytes_client_to_server += 2 * sizes.paillier_ct_bytes + 4
+    trace.bytes_client_to_server += (
+        FRAME_OVERHEAD + LIST_OVERHEAD + 2 * sizes.paillier_ct_wire_bytes
+    )
     trace.messages += 1
     trace.rounds += 1
     # Borrow reconstruction: linear flip with probability 1/2, then the
@@ -95,7 +125,10 @@ def add_compare_encrypted_client_learns(
     :func:`repro.smc.comparison.compare_encrypted_client_learns`."""
     _add_blind_and_split(trace, sizes)
     add_dgk_compare(trace, bits, sizes)
-    trace.bytes_server_to_client += sizes.blind_bytes + 5
+    # Reveal message: [r_high, server borrow share].
+    trace.bytes_server_to_client += (
+        FRAME_OVERHEAD + LIST_OVERHEAD + sizes.blind_bytes + SMALL_INT_BYTES
+    )
     trace.messages += 1
     trace.rounds += 1
 
@@ -112,22 +145,29 @@ def add_compare_encrypted_batch(
     # Server blinding batch (1 message).
     trace.count(Op.PAILLIER_ADD, count)
     trace.count(Op.PAILLIER_RERANDOMIZE, count)
-    trace.bytes_server_to_client += count * sizes.paillier_ct_bytes + 4
+    trace.bytes_server_to_client += (
+        FRAME_OVERHEAD + LIST_OVERHEAD + count * sizes.paillier_ct_wire_bytes
+    )
     trace.messages += 1
     trace.rounds += 1
     trace.count(Op.PAILLIER_DECRYPT, count)
-    # Batched DGK (2 messages).
+    # Batched DGK (2 messages): a list of per-instance ciphertext lists.
     trace.count(Op.DGK_ENCRYPT, count * (width + 1))
     trace.count(Op.DGK_ADD, count * (width // 2 + 3 * width))
     trace.count(Op.DGK_SCALAR_MUL, count * 2 * width)
     trace.count(Op.DGK_ZERO_TEST, count * width)
-    trace.bytes_client_to_server += count * width * sizes.dgk_ct_bytes + 8
-    trace.bytes_server_to_client += count * width * sizes.dgk_ct_bytes + 8
+    per_direction = FRAME_OVERHEAD + LIST_OVERHEAD + count * (
+        LIST_OVERHEAD + width * sizes.dgk_ct_wire_bytes
+    )
+    trace.bytes_client_to_server += per_direction
+    trace.bytes_server_to_client += per_direction
     trace.messages += 2
     trace.rounds += 2
     # Client correction batch (1 message) + server reconstruction.
     trace.count(Op.PAILLIER_ENCRYPT, 2 * count)
-    trace.bytes_client_to_server += 2 * count * sizes.paillier_ct_bytes + 4
+    trace.bytes_client_to_server += (
+        FRAME_OVERHEAD + LIST_OVERHEAD + 2 * count * sizes.paillier_ct_wire_bytes
+    )
     trace.messages += 1
     trace.rounds += 1
     trace.count(Op.PAILLIER_SCALAR_MUL, count)
@@ -155,11 +195,15 @@ def add_secure_argmax(
         trace.count(Op.PAILLIER_RERANDOMIZE, 2)       # blinded pair
         # The blinded pair continues the comparison's final
         # server-to-client run, so it costs a message but no new round.
-        trace.bytes_server_to_client += 2 * sizes.paillier_ct_bytes + 4
+        trace.bytes_server_to_client += (
+            FRAME_OVERHEAD + LIST_OVERHEAD + 2 * sizes.paillier_ct_wire_bytes
+        )
         trace.messages += 1
         trace.count(Op.PAILLIER_ENCRYPT, 1)           # encrypted bit
         trace.count(Op.PAILLIER_RERANDOMIZE, 1)       # client refresh
-        trace.bytes_client_to_server += 2 * sizes.paillier_ct_bytes + 4
+        trace.bytes_client_to_server += (
+            FRAME_OVERHEAD + LIST_OVERHEAD + 2 * sizes.paillier_ct_wire_bytes
+        )
         trace.messages += 1
         trace.rounds += 1
         trace.count(Op.PAILLIER_SCALAR_MUL, 1)        # un-blinding correction
@@ -167,7 +211,10 @@ def add_secure_argmax(
     # Final OT over the inverse permutation table.
     ot_bits = max(1, (candidates - 1).bit_length())
     trace.count(Op.OT_TRANSFER_1OF2, ot_bits)
-    trace.bytes_server_to_client += candidates * 8 + 4
+    # One 4-byte index entry per candidate, shipped as a list of bytes.
+    trace.bytes_server_to_client += (
+        FRAME_OVERHEAD + LIST_OVERHEAD + candidates * (ELEMENT_OVERHEAD + 4)
+    )
     trace.messages += 1
     trace.rounds += 1
 
@@ -179,7 +226,9 @@ def add_encrypt_vector(
     if length == 0:
         return
     trace.count(Op.PAILLIER_ENCRYPT, length)
-    trace.bytes_client_to_server += length * sizes.paillier_ct_bytes + 4
+    trace.bytes_client_to_server += (
+        FRAME_OVERHEAD + LIST_OVERHEAD + length * sizes.paillier_ct_wire_bytes
+    )
     trace.messages += 1
     trace.rounds += 1
 
@@ -225,7 +274,10 @@ def add_leaf_selection(
     trace.count(Op.PAILLIER_SCALAR_MUL, 2 * leaves)
     trace.count(Op.PAILLIER_ADD, leaves)
     trace.count(Op.PAILLIER_RERANDOMIZE, 2 * leaves)
-    trace.bytes_server_to_client += 2 * leaves * sizes.paillier_ct_bytes + 8
+    # One flat list interleaving (cost, label-slot) ciphertext pairs.
+    trace.bytes_server_to_client += (
+        FRAME_OVERHEAD + LIST_OVERHEAD + 2 * leaves * sizes.paillier_ct_wire_bytes
+    )
     trace.messages += 1
     trace.rounds += 1
     # Client decrypts the cost list until the zero, then one label.

@@ -31,6 +31,9 @@ from repro.classifiers.forest import RandomForestClassifier
 from repro.crypto.paillier import PaillierCiphertext
 from repro.secure.base import SecureClassificationError, SecureClassifier
 from repro.secure.costing import (
+    FRAME_OVERHEAD,
+    LIST_OVERHEAD,
+    SMALL_INT_BYTES,
     ProtocolSizes,
     add_compare_encrypted_batch,
     add_encrypt_vector,
@@ -220,7 +223,10 @@ class SecureRandomForestClassifier(SecureClassifier):
         n_classes = len(self.classes)
 
         if disclosed:
-            trace.bytes_client_to_server += 4 + 5 * len(disclosed)
+            trace.bytes_client_to_server += (
+                FRAME_OVERHEAD + LIST_OVERHEAD
+                + SMALL_INT_BYTES * len(disclosed)
+            )
             trace.messages += 1
             trace.rounds += 1
 
@@ -245,7 +251,7 @@ class SecureRandomForestClassifier(SecureClassifier):
 
         comparisons = int(round(total_comparisons))
         if comparisons == 0:
-            trace.bytes_server_to_client += 5
+            trace.bytes_server_to_client += FRAME_OVERHEAD + SMALL_INT_BYTES
             trace.messages += 1
             trace.rounds += 1
             return trace
@@ -263,13 +269,19 @@ class SecureRandomForestClassifier(SecureClassifier):
         trace.count(Op.PAILLIER_ADD, 2 * comparisons)
         trace.count(Op.PAILLIER_SCALAR_MUL, comparisons + leaves)
         trace.count(Op.PAILLIER_RERANDOMIZE, leaves)
-        trace.bytes_server_to_client += leaves * self.sizes.paillier_ct_bytes + 8
+        # Nested per-tree lists: one inner list per live tree.
+        n_trees = len(self._tree_wrappers)
+        nested = (
+            FRAME_OVERHEAD + LIST_OVERHEAD + n_trees * LIST_OVERHEAD
+            + leaves * self.sizes.paillier_ct_wire_bytes
+        )
+        trace.bytes_server_to_client += nested
         trace.messages += 1
         trace.rounds += 1
         # Client decrypt-scan + one-hot uploads.
         trace.count(Op.PAILLIER_DECRYPT, leaves)
         trace.count(Op.PAILLIER_ENCRYPT, leaves)
-        trace.bytes_client_to_server += leaves * self.sizes.paillier_ct_bytes + 8
+        trace.bytes_client_to_server += nested
         trace.messages += 1
         trace.rounds += 1
         # Vote accumulation + argmax.

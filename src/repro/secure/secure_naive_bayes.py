@@ -26,6 +26,9 @@ import numpy as np
 from repro.classifiers.naive_bayes import NaiveBayesClassifier
 from repro.secure.base import SecureClassificationError, SecureClassifier
 from repro.secure.costing import (
+    FRAME_OVERHEAD,
+    LIST_OVERHEAD,
+    SMALL_INT_BYTES,
     ProtocolSizes,
     add_encrypt_vector,
     add_indicator_lookup,
@@ -149,12 +152,15 @@ class SecureNaiveBayesClassifier(SecureClassifier):
         trace = ExecutionTrace(label=f"naive-bayes|hidden={len(hidden)}")
         n_classes = len(self.classes)
         if disclosed:
-            trace.bytes_client_to_server += 4 + 5 * len(disclosed)
+            trace.bytes_client_to_server += (
+                FRAME_OVERHEAD + LIST_OVERHEAD
+                + SMALL_INT_BYTES * len(disclosed)
+            )
             trace.messages += 1
             trace.rounds += 1
         if not hidden:
             # Plaintext fast path: one label message back.
-            trace.bytes_server_to_client += 5
+            trace.bytes_server_to_client += FRAME_OVERHEAD + SMALL_INT_BYTES
             trace.messages += 1
             trace.rounds += 1
             return trace

@@ -23,6 +23,10 @@ import numpy as np
 from repro.classifiers.regression import RidgeRegression
 from repro.secure.base import SecureClassificationError, SecureClassifier
 from repro.secure.costing import (
+    ELEMENT_OVERHEAD,
+    FRAME_OVERHEAD,
+    LIST_OVERHEAD,
+    SMALL_INT_BYTES,
     ProtocolSizes,
     add_dot_product,
     add_encrypt_vector,
@@ -137,11 +141,15 @@ class SecureRegression(SecureClassifier):
         disclosed, hidden = self.partition(disclosure_set)
         trace = ExecutionTrace(label=f"regression|hidden={len(hidden)}")
         if disclosed:
-            trace.bytes_client_to_server += 4 + 5 * len(disclosed)
+            trace.bytes_client_to_server += (
+                FRAME_OVERHEAD + LIST_OVERHEAD
+                + SMALL_INT_BYTES * len(disclosed)
+            )
             trace.messages += 1
             trace.rounds += 1
         if not hidden:
-            trace.bytes_server_to_client += 8
+            # Plaintext fixed-point dose: one integer of a few bytes.
+            trace.bytes_server_to_client += FRAME_OVERHEAD + ELEMENT_OVERHEAD + 4
             trace.messages += 1
             trace.rounds += 1
             return trace
@@ -152,7 +160,9 @@ class SecureRegression(SecureClassifier):
 
         trace.count(Op.PAILLIER_RERANDOMIZE)
         trace.count(Op.PAILLIER_DECRYPT)
-        trace.bytes_server_to_client += self.sizes.paillier_ct_bytes
+        trace.bytes_server_to_client += (
+            FRAME_OVERHEAD + self.sizes.paillier_ct_wire_bytes
+        )
         trace.messages += 1
         trace.rounds += 1
         return trace

@@ -35,6 +35,9 @@ from repro.classifiers.decision_tree import DecisionTreeClassifier, TreeNode
 from repro.crypto.paillier import PaillierCiphertext
 from repro.secure.base import SecureClassificationError, SecureClassifier
 from repro.secure.costing import (
+    FRAME_OVERHEAD,
+    LIST_OVERHEAD,
+    SMALL_INT_BYTES,
     ProtocolSizes,
     add_compare_encrypted_batch,
     add_encrypt_vector,
@@ -266,12 +269,15 @@ class SecureDecisionTreeClassifier(SecureClassifier):
         )
 
         if disclosed:
-            trace.bytes_client_to_server += 4 + 5 * len(disclosed)
+            trace.bytes_client_to_server += (
+                FRAME_OVERHEAD + LIST_OVERHEAD
+                + SMALL_INT_BYTES * len(disclosed)
+            )
             trace.messages += 1
             trace.rounds += 1
         if shape.comparisons < 1e-9:
             # Fully resolved in plaintext: a single label message.
-            trace.bytes_server_to_client += 5
+            trace.bytes_server_to_client += FRAME_OVERHEAD + SMALL_INT_BYTES
             trace.messages += 1
             trace.rounds += 1
             return trace

@@ -2,9 +2,16 @@
 
 This package is the SMC substrate the secure classifiers run on:
 
-* :mod:`repro.smc.network` -- an in-process message channel that accounts
-  for every byte and communication round, plus latency/bandwidth network
-  profiles (LAN / WAN / loopback).
+* :mod:`repro.smc.wire` -- the canonical wire codec: every payload shape
+  that crosses the two-party link has one deterministic tagged encoding,
+  from which both the byte accounting and the socket transports derive.
+* :mod:`repro.smc.network` -- the accounted message channel (bytes per
+  direction, messages, rounds), plus latency/bandwidth network profiles
+  (LAN / WAN / loopback). A channel optionally routes every payload
+  through a transport.
+* :mod:`repro.smc.transport` -- pluggable transports: in-process codec
+  round-trip and a real TCP socket backend with a mirror peer process,
+  timeouts and bounded retry; plus socket serving of deployment bundles.
 * :mod:`repro.smc.protocol` -- execution traces: operation counters,
   transfer statistics and wall-clock timing shared by all protocols.
 * :mod:`repro.smc.comparison` -- the DGK private-input comparison and the
@@ -23,11 +30,26 @@ This package is the SMC substrate the secure classifiers run on:
 
 from repro.smc.network import Channel, NetworkModel, NetworkProfile
 from repro.smc.protocol import ExecutionTrace, Op
+from repro.smc.transport import (
+    InProcessTransport,
+    TcpTransport,
+    TransportConfig,
+    TransportError,
+    make_transport,
+)
+from repro.smc.wire import WireCodec, WireError
 
 __all__ = [
     "Channel",
     "ExecutionTrace",
+    "InProcessTransport",
     "NetworkModel",
     "NetworkProfile",
     "Op",
+    "TcpTransport",
+    "TransportConfig",
+    "TransportError",
+    "WireCodec",
+    "WireError",
+    "make_transport",
 ]

@@ -80,7 +80,7 @@ def secure_argmax(
         challenger = permuted[position]
 
         # Encrypted comparison: client learns b = (challenger >= max).
-        ctx.channel.reset_direction()
+        # (The comparison owns its own phase reset.)
         ctx.trace.count(Op.PAILLIER_ADD, 2)
         z = challenger - current_max + (1 << bit_length)
         bit = compare_encrypted_client_learns(ctx, z, bit_length)

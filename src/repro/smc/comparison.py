@@ -97,6 +97,9 @@ def dgk_compare(
     encrypted_bits = [
         ctx.dgk.public_key.encrypt(bit, rng=ctx.client_rng) for bit in x_bits
     ]
+    # The comparison is a fresh protocol phase: its first message opens a
+    # new round regardless of which party spoke last in the composition.
+    ctx.channel.reset_direction()
     encrypted_bits = ctx.channel.client_sends(encrypted_bits)
 
     # Server: build the blinded difference terms.
@@ -151,10 +154,12 @@ def _encrypted_z_bit(
     """
     modulus_mask = (1 << bit_length) - 1
 
-    # Server: additive blinding with statistical noise.
+    # Server: additive blinding with statistical noise. Entry point of
+    # both encrypted-comparison variants, so it owns the phase reset.
     noise = ctx.blinding_noise(bit_length + 1)
     ctx.trace.count(Op.PAILLIER_ADD)
     blinded = z_encrypted + noise
+    ctx.channel.reset_direction()
     blinded = ctx.channel.server_sends(ctx.rerandomize(blinded))
 
     # Client: decrypt the blinded value and split it.
@@ -165,7 +170,6 @@ def _encrypted_z_bit(
     r_low = noise & modulus_mask
     r_high = noise >> bit_length
 
-    ctx.channel.reset_direction()
     borrow = dgk_compare(ctx, d_low, r_low, bit_length)
     return d_high, r_high, borrow, noise
 

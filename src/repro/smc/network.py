@@ -1,14 +1,22 @@
-"""Simulated two-party network with byte and round accounting.
+"""Two-party network layer with byte and round accounting.
 
-Protocols in this library run in-process, but every logical wire
-crossing goes through a :class:`Channel`, which
+Every logical wire crossing goes through a :class:`Channel`, which
 
-* measures the serialized size of each payload,
+* measures the canonically encoded size of each payload (derived from
+  the wire codec, :mod:`repro.smc.wire`, so the accounting equals what a
+  real socket would carry byte-for-byte),
 * counts messages, and
 * counts *rounds* -- maximal runs of messages flowing in one direction,
   the quantity that multiplies network latency in the cost model.
 
-:class:`NetworkModel` then prices a transcript under a latency/bandwidth
+A channel optionally carries a *transport* (see
+:mod:`repro.smc.transport`): when attached, every payload is actually
+encoded, shipped across the transport (e.g. a localhost TCP socket to a
+peer process), decoded on the far side and handed back -- the protocol
+then runs on data that genuinely crossed the wire, and the measured
+frame bytes are asserted against the trace accounting.
+
+:class:`NetworkModel` prices a transcript under a latency/bandwidth
 profile. Three standard profiles mirror the setups secure-classification
 papers evaluate on: loopback, LAN and WAN.
 """
@@ -19,7 +27,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.smc import wire
 from repro.smc.protocol import ExecutionTrace
+
+#: Per-message framing overhead (frame kind byte + u32 body length).
+FRAME_OVERHEAD = wire.FRAME_OVERHEAD
 
 
 class ChannelError(Exception):
@@ -34,32 +46,28 @@ class Direction(enum.Enum):
 
 
 def wire_size(payload: Any) -> int:
-    """Serialized size of a payload in bytes.
+    """Canonical encoded size of a payload in bytes (excluding framing).
 
-    Supported payloads: ints (minimal big-endian length plus a 4-byte
-    length prefix), bytes, strings, ``None`` (protocol signals), objects
-    exposing ``serialized_size_bytes()`` (all ciphertexts and OT
-    parameters), and lists/tuples/dicts of the above.
+    Delegates to the wire codec (:func:`repro.smc.wire.encoded_size`),
+    so signed integers are sized by their real two's-complement encoding
+    (``wire_size(-255) != wire_size(255)`` resolves to two distinct
+    encodings of equal, unambiguous length) and numpy scalars
+    (``np.int64``, ``np.bool_``, ...) are sized like their canonical
+    Python equivalents.
+
+    Objects that expose ``serialized_size_bytes()`` but have no codec
+    encoding (e.g. OT parameter blocks) are sized at their declared
+    width plus the element overhead; they can be accounted in the
+    simulator but not shipped over a real transport.
     """
-    if payload is None:
-        return 1
-    if isinstance(payload, bool):
-        return 1
-    if isinstance(payload, int):
-        return 4 + (payload.bit_length() + 7) // 8
-    if isinstance(payload, bytes):
-        return 4 + len(payload)
-    if isinstance(payload, str):
-        return 4 + len(payload.encode("utf-8"))
-    if isinstance(payload, float):
-        return 8
-    if hasattr(payload, "serialized_size_bytes"):
-        return payload.serialized_size_bytes()
-    if isinstance(payload, (list, tuple)):
-        return 4 + sum(wire_size(item) for item in payload)
-    if isinstance(payload, dict):
-        return 4 + sum(wire_size(k) + wire_size(v) for k, v in payload.items())
-    raise ChannelError(f"cannot size payload of type {type(payload).__name__}")
+    try:
+        return wire.encoded_size(payload)
+    except wire.WireError:
+        if hasattr(payload, "serialized_size_bytes"):
+            return wire.ELEMENT_OVERHEAD + payload.serialized_size_bytes()
+        raise ChannelError(
+            f"cannot size payload of type {type(payload).__name__}"
+        ) from None
 
 
 @dataclass
@@ -67,16 +75,20 @@ class Channel:
     """An accounted bidirectional link between client and server.
 
     Protocols call :meth:`send` at every logical wire crossing; the
-    payload is returned unchanged (the simulator shares one address
-    space) after its size has been charged to the attached trace.
+    payload is returned to the other party after one frame (header plus
+    canonical encoding) has been charged to the attached trace. Without
+    a transport the payload is handed over in-process; with one, the
+    encoded frame physically crosses the transport and the decoded copy
+    is returned.
     """
 
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    transport: Optional[Any] = None
     _last_direction: Optional[Direction] = None
 
     def send(self, direction: Direction, payload: Any) -> Any:
         """Record a message and hand the payload to the other party."""
-        size = wire_size(payload)
+        size = FRAME_OVERHEAD + wire_size(payload)
         if direction is Direction.CLIENT_TO_SERVER:
             self.trace.bytes_client_to_server += size
         elif direction is Direction.SERVER_TO_CLIENT:
@@ -87,6 +99,15 @@ class Channel:
         if direction is not self._last_direction:
             self.trace.rounds += 1
             self._last_direction = direction
+        if self.transport is not None:
+            payload = self.transport.exchange(direction, payload)
+            measured = self.transport.last_frame_bytes
+            if measured != size:
+                raise ChannelError(
+                    f"transport frame carried {measured} bytes but the "
+                    f"trace accounted {size}; codec and accounting "
+                    f"disagree"
+                )
         return payload
 
     def client_sends(self, payload: Any) -> Any:

@@ -1,0 +1,629 @@
+"""Pluggable two-party transports: in-process and real TCP sockets.
+
+The protocols in this library are written as straight-line two-party
+computations driven through an accounted :class:`~repro.smc.network.Channel`.
+This module makes the *wire* under that channel real and pluggable:
+
+* :class:`InProcessTransport` -- the payload is round-tripped through
+  the canonical codec (:mod:`repro.smc.wire`) in the same address
+  space. No sockets, but every message is genuinely encoded and
+  decoded, so codec fidelity is load-bearing even in-process.
+* :class:`TcpTransport` -- every channel message is framed and shipped
+  over a localhost/LAN TCP socket to a *peer process* (the remote
+  endpoint of the wire), which decodes it, re-encodes it canonically
+  and returns it. The protocol then computes on data that physically
+  crossed the network, and both endpoints independently measure the
+  frame bytes, which must equal the trace accounting exactly.
+
+On top of the message transports sits the deployment serving path:
+:func:`serve_deployment` runs a classification *server process* that
+loads a deployment bundle and serves live hybrid queries over a socket;
+:func:`request_classification` is the matching *client process* side.
+Each query's protocol messages all cross the socket between the two
+processes, and the client gets back the label plus the server's trace
+accounting together with its own independent byte counts.
+
+Failure semantics: connects and reads are bounded by timeouts; transient
+connection failures (refused connects, connections dropped mid-protocol)
+are retried with exponential backoff up to a bounded attempt budget;
+anything that exhausts the budget or hits a hard timeout raises
+:class:`TransportError` -- no hung processes, no silent corruption.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.smc import wire
+from repro.smc.network import Direction
+
+_LOCALHOST = "127.0.0.1"
+
+
+class TransportError(Exception):
+    """Raised when a transport cannot deliver a message."""
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Timeout and retry policy for socket transports.
+
+    Attributes
+    ----------
+    connect_timeout:
+        Seconds allowed for one TCP connect attempt.
+    io_timeout:
+        Seconds allowed for one blocking send/receive. A hard timeout is
+        not retried: the peer is alive-but-stuck, and retrying would
+        just hang for longer.
+    retries:
+        Additional attempts after the first on *transient* failures
+        (connection refused, connection dropped mid-exchange).
+    backoff_seconds:
+        Initial retry delay; doubles per retry.
+    """
+
+    connect_timeout: float = 5.0
+    io_timeout: float = 30.0
+    retries: int = 3
+    backoff_seconds: float = 0.05
+
+
+@dataclass
+class TransportStats:
+    """Per-direction frame accounting measured by a transport endpoint."""
+
+    frames: int = 0
+    bytes_client_to_server: int = 0
+    bytes_server_to_client: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Measured frame bytes across both directions."""
+        return self.bytes_client_to_server + self.bytes_server_to_client
+
+    def record(self, direction: Direction, frame_bytes: int) -> None:
+        """Attribute one measured frame to its logical direction."""
+        self.frames += 1
+        if direction is Direction.CLIENT_TO_SERVER:
+            self.bytes_client_to_server += frame_bytes
+        else:
+            self.bytes_server_to_client += frame_bytes
+
+
+class InProcessTransport:
+    """Codec round-trip in the same address space.
+
+    The cheapest backend that still exercises the canonical encoding on
+    every message: ``decode(encode(payload))`` replaces the payload, so
+    any codec infidelity breaks classification rather than hiding
+    behind object identity.
+    """
+
+    def __init__(self, codec: wire.WireCodec) -> None:
+        self.codec = codec
+        self.stats = TransportStats()
+        self.last_frame_bytes = 0
+
+    def exchange(self, direction: Direction, payload: Any) -> Any:
+        """Encode, "ship" (in-process), decode and return the payload."""
+        body = wire.encode(payload)
+        self.last_frame_bytes = wire.FRAME_OVERHEAD + len(body)
+        self.stats.record(direction, self.last_frame_bytes)
+        return self.codec.decode(body)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class TcpTransport:
+    """Channel transport backed by a real TCP connection to a peer.
+
+    Parameters
+    ----------
+    host / port:
+        The wire peer's listening address (see :func:`start_wire_peer`).
+    codec:
+        Codec holding the session's public keys; its keyring is sent to
+        the peer at handshake so both endpoints decode identically.
+    config:
+        Timeout/retry policy.
+    sock:
+        An already-connected socket to adopt instead of dialing out
+        (used by the serving path, where the server answers on the
+        connection the client opened). Adopted sockets skip the keyring
+        handshake unless ``handshake`` is true.
+    """
+
+    def __init__(
+        self,
+        host: str = _LOCALHOST,
+        port: int = 0,
+        codec: wire.WireCodec = wire.WireCodec(),
+        config: TransportConfig = TransportConfig(),
+        sock: Optional[socket.socket] = None,
+        handshake: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.codec = codec
+        self.config = config
+        self.stats = TransportStats()
+        self.last_frame_bytes = 0
+        self._sock: Optional[socket.socket] = sock
+        self._adopted = sock is not None
+        if sock is not None:
+            sock.settimeout(config.io_timeout)
+            if handshake:
+                self._send_keyring(sock)
+        self._closed = False
+
+    # -- connection management ------------------------------------------
+
+    def _send_keyring(self, sock: socket.socket) -> None:
+        keyring = wire.keyring_payload(
+            paillier=self.codec.paillier, dgk=self.codec.dgk, gm=self.codec.gm
+        )
+        wire.send_frame(sock, wire.KIND_KEYS, wire.encode(keyring))
+
+    def _connect(self) -> socket.socket:
+        """Dial the peer with bounded retry-with-backoff."""
+        delay = self.config.backoff_seconds
+        last_error: Optional[Exception] = None
+        for attempt in range(self.config.retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.config.connect_timeout
+                )
+                sock.settimeout(self.config.io_timeout)
+                self._send_keyring(sock)
+                return sock
+            except (ConnectionError, socket.timeout, OSError) as error:
+                last_error = error
+        raise TransportError(
+            f"could not connect to wire peer at {self.host}:{self.port} "
+            f"after {self.config.retries + 1} attempts: {last_error}"
+        )
+
+    def _ensure_sock(self) -> socket.socket:
+        if self._closed:
+            raise TransportError("transport is closed")
+        if self._sock is None:
+            self._sock = self._connect()
+        return self._sock
+
+    def _drop_sock(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._sock = None
+
+    # -- the transport contract -----------------------------------------
+
+    def exchange(self, direction: Direction, payload: Any) -> Any:
+        """Ship one protocol message across the socket and back.
+
+        The peer decodes the frame and answers with its canonical
+        re-encoding; the returned payload is the decode of that reply,
+        so every value the protocol computes on has survived a real
+        encode -> wire -> decode -> encode -> wire -> decode cycle.
+        Frame sizes are verified on both legs.
+        """
+        body = wire.encode(payload)
+        frame_bytes = wire.FRAME_OVERHEAD + len(body)
+        delay = self.config.backoff_seconds
+        last_error: Optional[Exception] = None
+        for attempt in range(self.config.retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            try:
+                sock = self._ensure_sock()
+                wire.send_frame(sock, wire.KIND_MSG, body)
+                kind, reply = wire.recv_frame(sock)
+            except socket.timeout as error:
+                # A hard timeout means the peer is stuck, not gone;
+                # retrying would hang for another full window.
+                self._drop_sock()
+                raise TransportError(
+                    f"timed out after {self.config.io_timeout}s waiting "
+                    f"for the wire peer"
+                ) from error
+            except (ConnectionError, wire.WireError, OSError) as error:
+                # Dropped connection: reconnect (fresh handshake) and
+                # resend. The exchange is a pure function of the frame,
+                # so resending is idempotent.
+                last_error = error
+                self._drop_sock()
+                continue
+            if kind != wire.KIND_MSG:
+                raise TransportError(
+                    f"wire peer answered frame kind 0x{kind:02X}, "
+                    f"expected a mirrored message"
+                )
+            if reply != body:
+                raise TransportError(
+                    "wire peer's canonical re-encoding differs from the "
+                    "sent frame; codec is not canonical"
+                )
+            self.last_frame_bytes = frame_bytes
+            self.stats.record(direction, frame_bytes)
+            return self.codec.decode(reply)
+        raise TransportError(
+            f"exchange failed after {self.config.retries + 1} attempts: "
+            f"{last_error}"
+        )
+
+    def peer_stats(self) -> Dict[str, int]:
+        """Ask the peer for its independent byte accounting."""
+        sock = self._ensure_sock()
+        try:
+            wire.send_frame(sock, wire.KIND_STATS, wire.encode(None))
+            kind, reply = wire.recv_frame(sock)
+        except (ConnectionError, socket.timeout, OSError) as error:
+            raise TransportError(f"stats request failed: {error}") from error
+        if kind != wire.KIND_STATS:
+            raise TransportError(f"unexpected stats reply kind 0x{kind:02X}")
+        return self.codec.decode(reply)
+
+    def close(self, shutdown_peer: bool = False) -> None:
+        """Close the connection; optionally stop the peer process."""
+        if self._sock is not None:
+            try:
+                kind = wire.KIND_SHUTDOWN if shutdown_peer else wire.KIND_CLOSE
+                wire.send_frame(self._sock, kind, wire.encode(None))
+            except OSError:  # pragma: no cover - peer may already be gone
+                pass
+        self._drop_sock()
+        self._closed = True
+
+
+TRANSPORT_BACKENDS = ("inproc", "tcp")
+
+
+def make_transport(
+    backend: str,
+    codec: wire.WireCodec,
+    host: str = _LOCALHOST,
+    port: int = 0,
+    config: TransportConfig = TransportConfig(),
+):
+    """Build a transport by backend name (``inproc`` or ``tcp``)."""
+    if backend == "inproc":
+        return InProcessTransport(codec)
+    if backend == "tcp":
+        return TcpTransport(host=host, port=port, codec=codec, config=config)
+    raise TransportError(
+        f"unknown transport backend {backend!r}; expected one of "
+        f"{TRANSPORT_BACKENDS}"
+    )
+
+
+def attach_transport(ctx, transport) -> None:
+    """Route a context's channel through ``transport``."""
+    ctx.channel.transport = transport
+
+
+# -- the wire peer process ---------------------------------------------------
+
+
+def _serve_wire_connection(
+    sock: socket.socket,
+    codec_box: List[Optional[wire.WireCodec]],
+    counters: Dict[str, int],
+    drop_after: Optional[int],
+) -> str:
+    """Serve one accepted connection of the mirror peer.
+
+    Returns ``"shutdown"`` when the client asked the peer to exit,
+    ``"dropped"`` after an injected mid-protocol drop, else ``"closed"``.
+    """
+    while True:
+        try:
+            kind, body = wire.recv_frame(sock)
+        except wire.WireError:
+            return "closed"  # client went away; await the next connection
+        if kind == wire.KIND_KEYS:
+            codec_box[0] = wire.codec_from_keyring(
+                wire.WireCodec().decode(body)
+            )
+            continue
+        if kind == wire.KIND_MSG:
+            counters["frames"] += 1
+            counters["bytes_received"] += wire.FRAME_OVERHEAD + len(body)
+            if drop_after is not None and counters["frames"] == drop_after \
+                    and not counters.get("dropped"):
+                # Fault injection: kill the connection mid-protocol,
+                # exactly once. The peer keeps listening; a transport
+                # with retry enabled reconnects and resends.
+                counters["dropped"] = 1
+                sock.close()
+                return "dropped"
+            codec = codec_box[0]
+            if codec is None:
+                return "closed"
+            payload = codec.decode(body)
+            reencoded = wire.encode(payload)
+            counters["bytes_sent"] += wire.send_frame(
+                sock, wire.KIND_MSG, reencoded
+            )
+            continue
+        if kind == wire.KIND_STATS:
+            wire.send_frame(sock, wire.KIND_STATS, wire.encode(dict(counters)))
+            continue
+        if kind == wire.KIND_CLOSE:
+            return "closed"
+        if kind == wire.KIND_SHUTDOWN:
+            return "shutdown"
+        return "closed"
+
+
+def wire_peer_serve(
+    listener: socket.socket, drop_after: Optional[int] = None
+) -> None:
+    """Accept loop of the mirror peer: decode every protocol frame,
+    answer with its canonical re-encoding, keep independent byte counts.
+
+    ``drop_after`` injects exactly one mid-protocol connection drop
+    after that many mirrored frames (for fault-injection tests).
+    """
+    codec_box: List[Optional[wire.WireCodec]] = [None]
+    counters: Dict[str, int] = {
+        "frames": 0, "bytes_received": 0, "bytes_sent": 0
+    }
+    while True:
+        try:
+            sock, _ = listener.accept()
+        except OSError:  # pragma: no cover - listener closed under us
+            return
+        with sock:
+            outcome = _serve_wire_connection(
+                sock, codec_box, counters, drop_after
+            )
+        if outcome == "shutdown":
+            return
+
+
+def _wire_peer_main(ready, drop_after: Optional[int]) -> None:
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((_LOCALHOST, 0))
+    listener.listen(4)
+    ready.send(listener.getsockname()[1])
+    ready.close()
+    with listener:
+        wire_peer_serve(listener, drop_after=drop_after)
+
+
+def start_wire_peer(
+    drop_after: Optional[int] = None,
+) -> Tuple[multiprocessing.Process, int]:
+    """Launch the mirror peer in a separate process.
+
+    Returns ``(process, port)``; the peer listens on localhost and runs
+    until it receives a shutdown frame (or is terminated).
+    """
+    parent, child = multiprocessing.Pipe()
+    process = multiprocessing.Process(
+        target=_wire_peer_main, args=(child, drop_after), daemon=True
+    )
+    process.start()
+    child.close()
+    port = parent.recv()
+    parent.close()
+    return process, port
+
+
+# -- deployment serving over a socket ---------------------------------------
+
+
+@dataclass
+class ClassificationResult:
+    """What the client process gets back from one served query."""
+
+    label: int
+    server_trace: Dict[str, float]
+    client_stats: Dict[str, int] = field(default_factory=dict)
+
+
+def serve_deployment(
+    deployed,
+    listener: socket.socket,
+    max_connections: Optional[int] = None,
+) -> None:
+    """Serve live hybrid classification queries over ``listener``.
+
+    Per connection the protocol is:
+
+    1. client sends a ``KIND_REQUEST`` frame:
+       ``{"row": [...], "seed": int, "disclosure": [...] | None}``;
+    2. the server derives the session keys from the seed (the client is
+       the key owner in the Bost model; a shared seed keeps transcripts
+       reproducible) and answers with a ``KIND_KEYS`` keyring frame;
+    3. every protocol message of the classification crosses this socket
+       as a ``KIND_MSG`` frame, mirrored by the client;
+    4. the server finishes with a ``KIND_RESULT`` frame carrying the
+       label and the full trace summary.
+
+    ``deployed`` is a :class:`repro.core.serialization.DeployedClassifier`.
+    """
+    import numpy as np
+
+    from repro.smc.context import make_context
+
+    served = 0
+    while max_connections is None or served < max_connections:
+        try:
+            sock, _ = listener.accept()
+        except OSError:  # pragma: no cover - listener closed under us
+            return
+        served += 1
+        with sock:
+            kind, body = wire.recv_frame(sock)
+            if kind == wire.KIND_SHUTDOWN:
+                return
+            if kind != wire.KIND_REQUEST:
+                continue
+            request = wire.WireCodec().decode(body)
+            ctx = make_context(
+                seed=int(request["seed"]),
+                paillier_bits=deployed.paillier_bits,
+                dgk_bits=deployed.dgk_bits,
+            )
+            codec = wire.codec_for_context(ctx)
+            transport = TcpTransport(codec=codec, sock=sock)
+            ctx.channel.transport = transport
+            disclosure = request.get("disclosure")
+            if disclosure is not None:
+                deployed_disclosure = deployed.disclosure
+                deployed.disclosure = [int(i) for i in disclosure]
+            try:
+                label = deployed.classify(ctx, np.asarray(request["row"]))
+            finally:
+                if disclosure is not None:
+                    deployed.disclosure = deployed_disclosure
+            result = {
+                "label": int(label),
+                "trace": ctx.trace.summary(),
+                "measured": {
+                    "frames": transport.stats.frames,
+                    "bytes_client_to_server":
+                        transport.stats.bytes_client_to_server,
+                    "bytes_server_to_client":
+                        transport.stats.bytes_server_to_client,
+                },
+            }
+            wire.send_frame(sock, wire.KIND_RESULT, wire.encode(result))
+
+
+def _deployment_server_main(ready, bundle_path: str,
+                            max_connections: Optional[int]) -> None:
+    from repro.core.serialization import load_deployment
+
+    deployed = load_deployment(bundle_path)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((_LOCALHOST, 0))
+    listener.listen(4)
+    ready.send(listener.getsockname()[1])
+    ready.close()
+    with listener:
+        serve_deployment(deployed, listener, max_connections=max_connections)
+
+
+def start_deployment_server(
+    bundle_path: str, max_connections: Optional[int] = None
+) -> Tuple[multiprocessing.Process, int]:
+    """Launch a deployment-bundle classification server process.
+
+    Returns ``(process, port)``. The server loads the bundle from
+    ``bundle_path`` and serves until ``max_connections`` connections are
+    handled (or forever when ``None``; send a shutdown frame or
+    terminate the process to stop it).
+    """
+    parent, child = multiprocessing.Pipe()
+    process = multiprocessing.Process(
+        target=_deployment_server_main,
+        args=(child, bundle_path, max_connections),
+        daemon=True,
+    )
+    process.start()
+    child.close()
+    port = parent.recv()
+    parent.close()
+    return process, port
+
+
+def request_classification(
+    host: str,
+    port: int,
+    row: Sequence[int],
+    seed: int,
+    disclosure: Optional[Sequence[int]] = None,
+    config: TransportConfig = TransportConfig(),
+) -> ClassificationResult:
+    """Client-process side of one served query.
+
+    Connects to a :func:`serve_deployment` server, submits the query,
+    mirrors every protocol frame (each crosses the socket physically),
+    and returns the label plus both endpoints' byte accounting.
+    """
+    delay = config.backoff_seconds
+    last_error: Optional[Exception] = None
+    sock = None
+    for attempt in range(config.retries + 1):
+        if attempt:
+            time.sleep(delay)
+            delay *= 2
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=config.connect_timeout
+            )
+            break
+        except (ConnectionError, socket.timeout, OSError) as error:
+            last_error = error
+    if sock is None:
+        raise TransportError(
+            f"could not reach classification server at {host}:{port}: "
+            f"{last_error}"
+        )
+    sock.settimeout(config.io_timeout)
+    request = {
+        "row": [int(v) for v in row],
+        "seed": int(seed),
+        "disclosure": (
+            [int(i) for i in disclosure] if disclosure is not None else None
+        ),
+    }
+    stats: Dict[str, int] = {
+        "frames": 0, "bytes_received": 0, "bytes_sent": 0
+    }
+    codec: Optional[wire.WireCodec] = None
+    with sock:
+        wire.send_frame(sock, wire.KIND_REQUEST, wire.encode(request))
+        while True:
+            try:
+                kind, body = wire.recv_frame(sock)
+            except socket.timeout as error:
+                raise TransportError(
+                    f"classification server timed out after "
+                    f"{config.io_timeout}s"
+                ) from error
+            except wire.WireError as error:
+                raise TransportError(
+                    f"classification server dropped the connection: {error}"
+                ) from error
+            if kind == wire.KIND_KEYS:
+                codec = wire.codec_from_keyring(wire.WireCodec().decode(body))
+                continue
+            if kind == wire.KIND_MSG:
+                if codec is None:
+                    raise TransportError(
+                        "server sent protocol frames before its keyring"
+                    )
+                stats["frames"] += 1
+                stats["bytes_received"] += wire.FRAME_OVERHEAD + len(body)
+                payload = codec.decode(body)
+                stats["bytes_sent"] += wire.send_frame(
+                    sock, wire.KIND_MSG, wire.encode(payload)
+                )
+                continue
+            if kind == wire.KIND_RESULT:
+                result = wire.WireCodec().decode(body)
+                return ClassificationResult(
+                    label=int(result["label"]),
+                    server_trace=result["trace"],
+                    client_stats=stats,
+                )
+            raise TransportError(
+                f"unexpected frame kind 0x{kind:02X} from the server"
+            )

@@ -1,0 +1,409 @@
+"""Canonical wire codec for every payload that crosses the two-party link.
+
+Every protocol message in this library is one of a small set of shapes:
+signed integers (blinded differences, shares, labels), byte strings (OT
+table entries), strings, floats, booleans, ``None`` signals, Paillier /
+DGK / GM ciphertexts, and nested lists/tuples/dicts of those. This
+module defines *the* encoding of each shape -- a one-byte type tag
+followed by a length-prefixed body -- and both transport backends and
+the :class:`~repro.smc.network.Channel` byte accounting derive from it,
+so the simulator's accounting and the bytes observed on a real TCP
+socket agree exactly, by construction.
+
+Layout summary (all length prefixes are unsigned 32-bit big-endian):
+
+====================  ========================================================
+shape                 encoding
+====================  ========================================================
+``None``              ``0x00``
+``False`` / ``True``  ``0x01`` / ``0x02``
+``int``               ``0x03`` + u32 length + two's-complement big-endian
+``float``             ``0x04`` + IEEE-754 big-endian double (8 bytes)
+``bytes``             ``0x05`` + u32 length + raw bytes
+``str``               ``0x06`` + u32 length + UTF-8 bytes
+``list``              ``0x07`` + u32 count + encoded items
+``tuple``             ``0x08`` + u32 count + encoded items
+``dict``              ``0x09`` + u32 count + encoded key/value pairs
+Paillier ciphertext   ``0x0A`` + u32 length + fixed-width big-endian value
+DGK ciphertext        ``0x0B`` + u32 length + fixed-width big-endian value
+GM ciphertext         ``0x0C`` + u32 length + fixed-width big-endian value
+====================  ========================================================
+
+Integers use a *signed* two's-complement body of ``bit_length() // 8 + 1``
+bytes, so negative values (blinded differences, signed shares) are both
+encodable and distinguishable from their absolute values -- the sizing
+ambiguity the old magnitude-only accounting had. Numpy scalars
+(``np.int64``, ``np.bool_``, ``np.float64``, ...) are canonicalised to
+their Python equivalents before encoding.
+
+Ciphertext bodies are fixed-width (the size of the key's ciphertext
+group), so message sizes leak nothing about plaintext magnitudes.
+Decoding a ciphertext requires the matching public key; a
+:class:`WireCodec` carries the session's public keys and is the decoding
+entry point. Encoding is keyless.
+
+Frames: a transport message is ``kind (1 byte) + u32 body length + body``
+(:data:`FRAME_OVERHEAD` = 5 bytes). The channel charges exactly one
+frame per logical message.
+"""
+
+from __future__ import annotations
+
+import numbers
+import struct
+import socket
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.crypto.dgk import DgkCiphertext, DgkPublicKey
+from repro.crypto.gm import GMCiphertext, GMPublicKey
+from repro.crypto.paillier import PaillierCiphertext, PaillierPublicKey
+
+try:  # numpy is a hard dependency of the repo, but keep the codec honest
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+WIRE_VERSION = 1
+
+# -- type tags ---------------------------------------------------------------
+
+TAG_NONE = 0x00
+TAG_FALSE = 0x01
+TAG_TRUE = 0x02
+TAG_INT = 0x03
+TAG_FLOAT = 0x04
+TAG_BYTES = 0x05
+TAG_STR = 0x06
+TAG_LIST = 0x07
+TAG_TUPLE = 0x08
+TAG_DICT = 0x09
+TAG_PAILLIER = 0x0A
+TAG_DGK = 0x0B
+TAG_GM = 0x0C
+
+#: tag byte + u32 length prefix, paid by every length-prefixed element.
+ELEMENT_OVERHEAD = 5
+
+# -- frame kinds -------------------------------------------------------------
+
+#: ``kind`` byte + u32 body length, paid once per transport frame.
+FRAME_OVERHEAD = 5
+
+KIND_MSG = 0x01        # a protocol message (mirror/forward me)
+KIND_KEYS = 0x02       # session keyring (public keys for the codec)
+KIND_REQUEST = 0x03    # classification request (row, disclosure, seed)
+KIND_RESULT = 0x04     # classification result (label + trace summary)
+KIND_STATS = 0x05      # byte-accounting stats request / reply
+KIND_CLOSE = 0x06      # end of session (connection may be reused)
+KIND_SHUTDOWN = 0x07   # stop serving entirely
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+class WireError(Exception):
+    """Raised on unencodable payloads or malformed wire data."""
+
+
+def _canonical(payload: Any) -> Any:
+    """Coerce numpy scalars to their Python equivalents.
+
+    The codebase hands ``np.int64`` / ``np.bool_`` / ``np.float64``
+    values around freely; the wire format only knows the canonical
+    Python shapes.
+    """
+    if _np is not None and isinstance(payload, _np.generic):
+        return payload.item()
+    return payload
+
+
+def _int_body_length(value: int) -> int:
+    """Bytes in the canonical two's-complement body of ``value``.
+
+    One byte more than the magnitude needs, so the sign bit always has
+    room: ``255`` encodes as ``00 FF`` and ``-255`` as ``FF 01`` -- two
+    different bodies of the same deterministic length.
+    """
+    return value.bit_length() // 8 + 1
+
+
+def encoded_size(payload: Any) -> int:
+    """Exact length in bytes of :func:`encode` without materialising it.
+
+    The in-process channel uses this for byte accounting, so simulated
+    traffic equals real traffic byte-for-byte.
+    """
+    payload = _canonical(payload)
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, numbers.Integral):
+        return ELEMENT_OVERHEAD + _int_body_length(int(payload))
+    if isinstance(payload, float):
+        return 1 + 8
+    if isinstance(payload, bytes):
+        return ELEMENT_OVERHEAD + len(payload)
+    if isinstance(payload, str):
+        return ELEMENT_OVERHEAD + len(payload.encode("utf-8"))
+    if isinstance(payload, PaillierCiphertext):
+        return ELEMENT_OVERHEAD + payload.serialized_size_bytes()
+    if isinstance(payload, (DgkCiphertext, GMCiphertext)):
+        return ELEMENT_OVERHEAD + payload.serialized_size_bytes()
+    if isinstance(payload, (list, tuple)):
+        return ELEMENT_OVERHEAD + sum(encoded_size(item) for item in payload)
+    if isinstance(payload, dict):
+        return ELEMENT_OVERHEAD + sum(
+            encoded_size(k) + encoded_size(v) for k, v in payload.items()
+        )
+    raise WireError(f"cannot encode payload of type {type(payload).__name__}")
+
+
+def encode(payload: Any) -> bytes:
+    """Serialise ``payload`` to its canonical wire bytes."""
+    out = bytearray()
+    _encode_into(payload, out)
+    return bytes(out)
+
+
+def _encode_into(payload: Any, out: bytearray) -> None:
+    payload = _canonical(payload)
+    if payload is None:
+        out.append(TAG_NONE)
+        return
+    if isinstance(payload, bool):
+        out.append(TAG_TRUE if payload else TAG_FALSE)
+        return
+    if isinstance(payload, numbers.Integral):
+        value = int(payload)
+        body = value.to_bytes(_int_body_length(value), "big", signed=True)
+        out.append(TAG_INT)
+        out += _U32.pack(len(body))
+        out += body
+        return
+    if isinstance(payload, float):
+        out.append(TAG_FLOAT)
+        out += _F64.pack(payload)
+        return
+    if isinstance(payload, bytes):
+        out.append(TAG_BYTES)
+        out += _U32.pack(len(payload))
+        out += payload
+        return
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        out.append(TAG_STR)
+        out += _U32.pack(len(body))
+        out += body
+        return
+    if isinstance(payload, PaillierCiphertext):
+        body = payload.to_bytes()
+        out.append(TAG_PAILLIER)
+        out += _U32.pack(len(body))
+        out += body
+        return
+    if isinstance(payload, DgkCiphertext):
+        body = payload.to_bytes()
+        out.append(TAG_DGK)
+        out += _U32.pack(len(body))
+        out += body
+        return
+    if isinstance(payload, GMCiphertext):
+        body = payload.to_bytes()
+        out.append(TAG_GM)
+        out += _U32.pack(len(body))
+        out += body
+        return
+    if isinstance(payload, (list, tuple)):
+        out.append(TAG_LIST if isinstance(payload, list) else TAG_TUPLE)
+        out += _U32.pack(len(payload))
+        for item in payload:
+            _encode_into(item, out)
+        return
+    if isinstance(payload, dict):
+        out.append(TAG_DICT)
+        out += _U32.pack(len(payload))
+        for key, value in payload.items():
+            _encode_into(key, out)
+            _encode_into(value, out)
+        return
+    raise WireError(f"cannot encode payload of type {type(payload).__name__}")
+
+
+@dataclass(frozen=True)
+class WireCodec:
+    """Decoder bound to a session's public keys.
+
+    Encoding never needs keys (ciphertexts carry theirs); decoding a
+    ciphertext tag does, so both endpoints construct a codec from the
+    session keyring exchanged at handshake.
+    """
+
+    paillier: Optional[PaillierPublicKey] = None
+    dgk: Optional[DgkPublicKey] = None
+    gm: Optional[GMPublicKey] = None
+
+    # Encoding is stateless; expose it here for symmetry.
+    encode = staticmethod(encode)
+    encoded_size = staticmethod(encoded_size)
+
+    def decode(self, data: bytes) -> Any:
+        """Decode one payload; rejects trailing garbage."""
+        value, offset = self._decode(memoryview(data), 0)
+        if offset != len(data):
+            raise WireError(
+                f"{len(data) - offset} trailing bytes after decoded payload"
+            )
+        return value
+
+    def _decode(self, view: memoryview, offset: int) -> Tuple[Any, int]:
+        if offset >= len(view):
+            raise WireError("truncated payload: missing type tag")
+        tag = view[offset]
+        offset += 1
+        if tag == TAG_NONE:
+            return None, offset
+        if tag == TAG_FALSE:
+            return False, offset
+        if tag == TAG_TRUE:
+            return True, offset
+        if tag == TAG_FLOAT:
+            body = self._take(view, offset, 8)
+            return _F64.unpack(body)[0], offset + 8
+        if tag in (TAG_INT, TAG_BYTES, TAG_STR, TAG_PAILLIER, TAG_DGK, TAG_GM):
+            length = _U32.unpack(self._take(view, offset, 4))[0]
+            offset += 4
+            body = bytes(self._take(view, offset, length))
+            offset += length
+            if tag == TAG_INT:
+                return int.from_bytes(body, "big", signed=True), offset
+            if tag == TAG_BYTES:
+                return body, offset
+            if tag == TAG_STR:
+                return body.decode("utf-8"), offset
+            if tag == TAG_PAILLIER:
+                if self.paillier is None:
+                    raise WireError("no Paillier key to decode ciphertext")
+                return PaillierCiphertext.from_bytes(body, self.paillier), offset
+            if tag == TAG_DGK:
+                if self.dgk is None:
+                    raise WireError("no DGK key to decode ciphertext")
+                return DgkCiphertext.from_bytes(body, self.dgk), offset
+            if self.gm is None:
+                raise WireError("no GM key to decode ciphertext")
+            return GMCiphertext.from_bytes(body, self.gm), offset
+        if tag in (TAG_LIST, TAG_TUPLE):
+            count = _U32.unpack(self._take(view, offset, 4))[0]
+            offset += 4
+            items = []
+            for _ in range(count):
+                item, offset = self._decode(view, offset)
+                items.append(item)
+            return (items if tag == TAG_LIST else tuple(items)), offset
+        if tag == TAG_DICT:
+            count = _U32.unpack(self._take(view, offset, 4))[0]
+            offset += 4
+            result = {}
+            for _ in range(count):
+                key, offset = self._decode(view, offset)
+                value, offset = self._decode(view, offset)
+                result[key] = value
+            return result, offset
+        raise WireError(f"unknown type tag 0x{tag:02X}")
+
+    @staticmethod
+    def _take(view: memoryview, offset: int, length: int) -> memoryview:
+        if offset + length > len(view):
+            raise WireError("truncated payload body")
+        return view[offset:offset + length]
+
+
+# -- session keyring ---------------------------------------------------------
+
+
+def keyring_payload(
+    paillier: Optional[PaillierPublicKey] = None,
+    dgk: Optional[DgkPublicKey] = None,
+    gm: Optional[GMPublicKey] = None,
+) -> dict:
+    """The handshake message describing a session's public keys."""
+    payload: dict = {"wire_version": WIRE_VERSION}
+    if paillier is not None:
+        payload["paillier_n"] = paillier.n
+    if dgk is not None:
+        payload["dgk"] = {"n": dgk.n, "g": dgk.g, "h": dgk.h, "u": dgk.u}
+    if gm is not None:
+        payload["gm"] = {"n": gm.n, "x": gm.pseudo_residue}
+    return payload
+
+
+def codec_from_keyring(payload: dict) -> WireCodec:
+    """Rebuild a :class:`WireCodec` from a keyring handshake message."""
+    version = payload.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version!r}")
+    paillier = None
+    if "paillier_n" in payload:
+        paillier = PaillierPublicKey(n=int(payload["paillier_n"]))
+    dgk = None
+    if "dgk" in payload:
+        spec = payload["dgk"]
+        dgk = DgkPublicKey(n=int(spec["n"]), g=int(spec["g"]),
+                           h=int(spec["h"]), u=int(spec["u"]))
+    gm = None
+    if "gm" in payload:
+        spec = payload["gm"]
+        gm = GMPublicKey(n=int(spec["n"]), pseudo_residue=int(spec["x"]))
+    return WireCodec(paillier=paillier, dgk=dgk, gm=gm)
+
+
+def codec_for_context(ctx) -> WireCodec:
+    """A codec carrying a :class:`~repro.smc.context.TwoPartyContext`'s
+    public keys."""
+    return WireCodec(
+        paillier=ctx.paillier.public_key, dgk=ctx.dgk.public_key
+    )
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def pack_frame(kind: int, body: bytes) -> bytes:
+    """One transport frame: kind byte + u32 body length + body."""
+    return bytes((kind,)) + _U32.pack(len(body)) + body
+
+
+def frame_size(payload: Any) -> int:
+    """Total frame bytes for ``payload``: what the channel charges and
+    what one leg of the socket actually carries."""
+    return FRAME_OVERHEAD + encoded_size(payload)
+
+
+def send_frame(sock: socket.socket, kind: int, body: bytes) -> int:
+    """Write one frame; returns the number of bytes put on the wire."""
+    frame = pack_frame(kind, body)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def recv_exact(sock: socket.socket, length: int) -> bytes:
+    """Read exactly ``length`` bytes or raise :class:`WireError` on EOF."""
+    chunks = bytearray()
+    while len(chunks) < length:
+        chunk = sock.recv(length - len(chunks))
+        if not chunk:
+            raise WireError(
+                f"connection closed after {len(chunks)}/{length} bytes"
+            )
+        chunks += chunk
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Read one frame; returns ``(kind, body)``."""
+    header = recv_exact(sock, FRAME_OVERHEAD)
+    kind = header[0]
+    length = _U32.unpack(header[1:5])[0]
+    body = recv_exact(sock, length) if length else b""
+    return kind, body

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.secure.costing import (
+    FRAME_OVERHEAD,
+    LIST_OVERHEAD,
     ProtocolSizes,
     add_compare_encrypted,
     add_compare_encrypted_batch,
@@ -119,7 +121,9 @@ class TestVectorBuilders:
         trace = _fresh()
         add_encrypt_vector(trace, 7, SIZES)
         assert trace.op_count(Op.PAILLIER_ENCRYPT) == 7
-        assert trace.bytes_client_to_server == 7 * SIZES.paillier_ct_bytes + 4
+        assert trace.bytes_client_to_server == (
+            FRAME_OVERHEAD + LIST_OVERHEAD + 7 * SIZES.paillier_ct_wire_bytes
+        )
 
     def test_dot_product_counts(self):
         trace = _fresh()

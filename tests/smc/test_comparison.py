@@ -123,3 +123,32 @@ class TestRoundAccounting:
         compare_encrypted(ctx, enc, 8)
         # blind (1) + dgk (2) + correction upload (1) = 4 rounds.
         assert ctx.trace.rounds - before == 4
+
+    def test_dgk_compare_opens_fresh_round(self, fresh_context):
+        # Regression: the channel's last-direction marker used to leak
+        # across composed protocols, so a DGK comparison starting right
+        # after an unrelated client message silently merged into the
+        # previous round.  The protocol entry point owns the reset now.
+        ctx = fresh_context
+        ctx.channel.client_sends([1, 2])  # unrelated preceding C->S phase
+        before = ctx.trace.rounds
+        dgk_compare(ctx, 1, 2, 3)
+        assert ctx.trace.rounds - before == 2  # C->S bits, S->C blinded
+
+    def test_back_to_back_comparisons_do_not_merge(self, fresh_context):
+        ctx = fresh_context
+        dgk_compare(ctx, 1, 2, 3)
+        first = ctx.trace.rounds
+        dgk_compare(ctx, 2, 1, 3)
+        assert ctx.trace.rounds - first == 2
+
+    def test_composed_sign_tests_pin_rounds(self, fresh_context):
+        # Two sign tests back to back must each cost exactly their
+        # standalone round count; no cross-protocol merging.
+        ctx = fresh_context
+        for score in (-3, 7):
+            before = ctx.trace.rounds
+            enc = ctx.paillier.public_key.encrypt(score, rng=ctx.server_rng)
+            sign_test_client_learns(ctx, enc, 8)
+            # blind (1) + dgk (2) + masked reveal (1) = 4 rounds.
+            assert ctx.trace.rounds - before == 4

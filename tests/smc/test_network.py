@@ -1,10 +1,13 @@
 """Tests for the accounted channel and network models."""
 
+import numpy as np
 import pytest
 
 from repro.crypto.paillier import PaillierKeyPair
 from repro.crypto.rand import fresh_rng
+from repro.smc import wire
 from repro.smc.network import (
+    FRAME_OVERHEAD,
     Channel,
     ChannelError,
     Direction,
@@ -13,34 +16,61 @@ from repro.smc.network import (
     wire_size,
 )
 
+# Wire element overhead: tag byte + u32 length prefix.
+_E = wire.ELEMENT_OVERHEAD
+
 
 class TestWireSize:
     def test_int_sizes(self):
-        assert wire_size(0) == 4
-        assert wire_size(255) == 5
-        assert wire_size(1 << 16) == 4 + 3
+        assert wire_size(0) == _E + 1
+        assert wire_size(255) == _E + 2       # sign bit needs a second byte
+        assert wire_size(1 << 16) == _E + 3
+
+    def test_sizes_match_real_encoding(self):
+        # The size must come from the canonical encoding, not a formula
+        # that could drift from it.
+        for value in (0, 1, 127, 128, 255, 1 << 16, (1 << 64) - 1):
+            assert wire_size(value) == len(wire.encode(value))
+
+    def test_negative_ints_sized_by_twos_complement(self):
+        # Regression: the old magnitude-only sizing conflated -255 and
+        # 255. Two's-complement sizing gives each a distinct canonical
+        # body of well-defined length.
+        assert wire_size(-255) == len(wire.encode(-255))
+        assert wire.encode(-255) != wire.encode(255)
+        assert wire_size(-1) == _E + 1            # body 0xFF
+        assert wire_size(-255) == _E + 2          # body 0xFF01
+        for value in (-1, -127, -128, -255, -(1 << 16)):
+            assert wire_size(value) == len(wire.encode(value))
+
+    def test_numpy_scalars(self):
+        # Regression: wire_size crashed on numpy scalar types.
+        assert wire_size(np.int64(5)) == wire_size(5)
+        assert wire_size(np.int32(-255)) == wire_size(-255)
+        assert wire_size(np.bool_(True)) == wire_size(True) == 1
+        assert wire_size(np.float64(1.5)) == wire_size(1.5)
 
     def test_bytes_and_str(self):
-        assert wire_size(b"abc") == 7
-        assert wire_size("abc") == 7
+        assert wire_size(b"abc") == _E + 3
+        assert wire_size("abc") == _E + 3
 
     def test_none_and_bool(self):
         assert wire_size(None) == 1
         assert wire_size(True) == 1
 
     def test_float(self):
-        assert wire_size(1.5) == 8
+        assert wire_size(1.5) == 1 + 8
 
     def test_list_recursion(self):
-        assert wire_size([0, 0]) == 4 + 4 + 4
+        assert wire_size([0, 0]) == _E + 2 * (_E + 1)
 
     def test_dict_recursion(self):
-        assert wire_size({1: 2}) == 4 + 5 + 5
+        assert wire_size({1: 2}) == _E + 2 * (_E + 1)
 
     def test_ciphertext_uses_declared_size(self):
         keys = PaillierKeyPair.generate(key_bits=256, rng=fresh_rng(1))
         ct = keys.public_key.encrypt(5, rng=fresh_rng(2))
-        assert wire_size(ct) == ct.serialized_size_bytes()
+        assert wire_size(ct) == _E + ct.serialized_size_bytes()
 
     def test_unknown_type_rejected(self):
         with pytest.raises(ChannelError):
@@ -52,9 +82,9 @@ class TestChannel:
         channel = Channel()
         channel.client_sends(b"1234")
         channel.server_sends(b"12345678")
-        assert channel.trace.bytes_client_to_server == 8
-        assert channel.trace.bytes_server_to_client == 12
-        assert channel.trace.total_bytes == 20
+        assert channel.trace.bytes_client_to_server == FRAME_OVERHEAD + _E + 4
+        assert channel.trace.bytes_server_to_client == FRAME_OVERHEAD + _E + 8
+        assert channel.trace.total_bytes == 2 * (FRAME_OVERHEAD + _E) + 12
 
     def test_round_counting(self):
         channel = Channel()

@@ -1,0 +1,49 @@
+"""Repo-specific static analysis: crypto/protocol invariant linting.
+
+The protocols in this library are only as private as the code that
+moves the bytes. This package turns the reviewer folklore of SMC
+implementations -- "never let a decrypted value touch the channel
+unencrypted", "every wire tag needs a decoder", "Paillier nonces never
+come from a Mersenne Twister" -- into AST-level checkers that run in CI
+(``python -m repro lint``).
+
+Public API
+----------
+:func:`run_checks`
+    Lint a set of files/directories; returns :class:`Finding` objects.
+:data:`ALL_CHECKERS`
+    The registered checker instances, one per rule.
+:class:`Finding` / :class:`Severity`
+    The finding record and its severity scale.
+:mod:`repro.analysis.baseline`
+    Committed-baseline handling so pre-existing findings do not block
+    CI while new ones do.
+
+Each rule can be locally suppressed with a pragma comment on the
+flagged line (or the line above it)::
+
+    risky_call()  # repro: allow[rule-id] -- one-line justification
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the threat
+model behind each rule.
+"""
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import (
+    Checker,
+    ModuleInfo,
+    iter_python_files,
+    run_checks,
+)
+from repro.analysis.checkers import ALL_CHECKERS, checker_by_rule
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Finding",
+    "ModuleInfo",
+    "Severity",
+    "checker_by_rule",
+    "iter_python_files",
+    "run_checks",
+]

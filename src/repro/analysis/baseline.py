@@ -1,0 +1,113 @@
+"""Committed-baseline handling for the invariant linter.
+
+A baseline is a JSON file mapping finding fingerprints (see
+:meth:`repro.analysis.findings.Finding.fingerprint`) to occurrence
+counts. Findings covered by the baseline are *known debt*: they do not
+fail CI, but any finding beyond the baselined count does. Fingerprints
+hash the module, rule and offending source text -- not the line number
+-- so edits elsewhere in a file neither hide nor resurrect baselined
+findings.
+
+The intended workflow:
+
+1. ``python -m repro lint src --write-baseline`` freezes the current
+   findings into ``.repro-lint-baseline.json``;
+2. CI runs ``python -m repro lint src --baseline
+   .repro-lint-baseline.json`` and fails on anything new;
+3. debt is paid down by fixing findings and re-freezing -- the test
+   suite pins the baseline to a fresh run, so a stale entry (a fixed
+   finding still listed) is itself an error.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline path at the repository root.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+class BaselineError(Exception):
+    """Raised on malformed baseline files."""
+
+
+def fingerprint_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Multiset of finding fingerprints."""
+    return dict(Counter(f.fingerprint() for f in findings))
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Freeze ``findings`` into a baseline file (sorted, diff-friendly)."""
+    counts = fingerprint_counts(findings)
+    entries = {}
+    by_print: Dict[str, Finding] = {}
+    for finding in findings:
+        by_print.setdefault(finding.fingerprint(), finding)
+    for print_, count in sorted(counts.items()):
+        sample = by_print[print_]
+        entries[print_] = {
+            "count": count,
+            "rule": sample.rule,
+            "module": sample.module,
+            "snippet": sample.snippet,
+        }
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline file into fingerprint -> allowed-count."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(f"baseline {path} has no 'findings' table")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version {version!r}"
+        )
+    counts: Dict[str, int] = {}
+    for print_, entry in payload["findings"].items():
+        if isinstance(entry, dict):
+            counts[print_] = int(entry.get("count", 1))
+        else:
+            counts[print_] = int(entry)
+    return counts
+
+
+def split_by_baseline(
+    findings: List[Finding], allowed: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding], Dict[str, int]]:
+    """Partition findings into (baselined, new) and report stale debt.
+
+    Returns ``(known, fresh, stale)`` where ``stale`` maps fingerprints
+    listed in the baseline but no longer produced (fully or partially)
+    to the unused count -- paid-down debt that should be removed by
+    re-freezing the baseline.
+    """
+    remaining = dict(allowed)
+    known: List[Finding] = []
+    fresh: List[Finding] = []
+    for finding in findings:
+        print_ = finding.fingerprint()
+        if remaining.get(print_, 0) > 0:
+            remaining[print_] -= 1
+            known.append(finding)
+        else:
+            fresh.append(finding)
+    stale = {print_: count for print_, count in remaining.items() if count > 0}
+    return known, fresh, stale

@@ -1,0 +1,40 @@
+"""The invariant checkers, one module per rule.
+
+``ALL_CHECKERS`` is the registry the driver and the CLI iterate; adding
+a checker means adding a module here and instantiating it in the list
+(see docs/STATIC_ANALYSIS.md, "Adding a checker").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.framework import Checker
+from repro.analysis.checkers.rng_hygiene import RngHygieneChecker
+from repro.analysis.checkers.channel_leak import ChannelLeakChecker
+from repro.analysis.checkers.wire_tags import WireTagChecker
+from repro.analysis.checkers.protocol_entry import ProtocolEntryChecker
+from repro.analysis.checkers.ciphertext_arith import CiphertextArithChecker
+from repro.analysis.checkers.exception_hygiene import ExceptionHygieneChecker
+from repro.analysis.checkers.mutable_defaults import MutableDefaultChecker
+
+ALL_CHECKERS: List[Checker] = [
+    RngHygieneChecker(),
+    ChannelLeakChecker(),
+    WireTagChecker(),
+    ProtocolEntryChecker(),
+    CiphertextArithChecker(),
+    ExceptionHygieneChecker(),
+    MutableDefaultChecker(),
+]
+
+
+def checker_by_rule(rule: str) -> Optional[Checker]:
+    """Look a checker up by its rule id (``None`` when unknown)."""
+    for checker in ALL_CHECKERS:
+        if checker.rule == rule:
+            return checker
+    return None
+
+
+__all__ = ["ALL_CHECKERS", "checker_by_rule"]

@@ -1,0 +1,77 @@
+"""Rule ``exception-hygiene``: no handler may swallow ``TransportError``.
+
+``repro.smc`` and ``repro.crypto`` are the layers where a swallowed
+exception turns into silent protocol corruption: a ``TransportError``
+caught by a bare ``except:`` (or an ``except Exception:`` that never
+re-raises) lets a half-delivered message masquerade as success, and
+the classification continues on stale or garbage values. Narrow
+handlers (``ConnectionError``, ``socket.timeout``, ``OSError``) remain
+fine -- they are how the transport implements its bounded retry policy
+-- the rule only targets catch-alls.
+
+Flags, inside ``repro.smc`` / ``repro.crypto``:
+
+* bare ``except:`` handlers (always);
+* ``except Exception:`` / ``except BaseException:`` handlers (alone or
+  in a tuple) whose body contains no ``raise``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, ModuleInfo
+
+SCOPE = ("repro.smc", "repro.crypto")
+BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(type_node: ast.AST) -> bool:
+    """Does the except type include Exception/BaseException?"""
+    nodes = (
+        type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in BROAD:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class ExceptionHygieneChecker(Checker):
+    rule = "exception-hygiene"
+    severity = Severity.ERROR
+    description = (
+        "no bare except: or swallowing except Exception: in repro.smc / "
+        "repro.crypto -- they can eat TransportError mid-protocol"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if not mod.in_scope(SCOPE):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    mod,
+                    node,
+                    "bare except: swallows TransportError (and "
+                    "KeyboardInterrupt); catch the specific transport/"
+                    "crypto exceptions instead",
+                )
+            elif _broad_names(node.type) and not _reraises(node):
+                yield self.finding(
+                    mod,
+                    node,
+                    "except Exception without re-raise swallows "
+                    "TransportError mid-protocol; narrow the handler or "
+                    "re-raise",
+                )

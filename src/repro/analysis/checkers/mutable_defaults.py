@@ -1,0 +1,53 @@
+"""Rule ``mutable-default``: no shared mutable default arguments.
+
+A ``def f(acc=[])`` default is evaluated once and shared across calls.
+In protocol code that pattern is worse than the usual footgun: a trace
+list or key cache shared between two sessions crosses the party
+boundary of the threat model. Flags list/dict/set displays,
+comprehensions and bare ``list()``/``dict()``/``set()`` calls used as
+parameter defaults anywhere in ``repro`` (frozen dataclass defaults
+like ``TransportConfig()`` are fine and not matched).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, ModuleInfo
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES
+    return False
+
+
+class MutableDefaultChecker(Checker):
+    rule = "mutable-default"
+    severity = Severity.WARNING
+    description = (
+        "parameter defaults must not be mutable (list/dict/set literals "
+        "or constructors); use None plus an in-body default"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        for func in mod.functions():
+            args = func.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield self.finding(
+                        mod,
+                        default,
+                        f"mutable default argument in {func.name}(); the "
+                        f"object is shared across every call",
+                    )

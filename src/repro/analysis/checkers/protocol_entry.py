@@ -1,0 +1,100 @@
+"""Rule ``protocol-entry``: entry points must reset the channel phase.
+
+Round accounting (and therefore every latency estimate the cost model
+produces) hinges on each protocol entry point opening a fresh phase:
+the first message of a composed sub-protocol must start a new round
+regardless of which party spoke last. PR 2 introduced
+``channel.reset_direction()`` for exactly this, and
+:func:`repro.smc.protocol.protocol_entry` marks the functions that own
+one.
+
+This checker enforces the contract statically: any function decorated
+with ``@protocol_entry`` that performs a direct channel send
+(``client_sends`` / ``server_sends`` / ``send``) must call
+``reset_direction()`` at some earlier point in its body. Functions
+that only delegate to other entry points (no direct sends) pass
+trivially -- the callee owns the reset. Deliberate exceptions (e.g. an
+entry point whose first wire crossing happens inside a composed
+sub-protocol that resets for it) carry the suppression pragma plus a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, ModuleInfo, call_name, walk_in_order
+
+DECORATOR_NAME = "protocol_entry"
+SEND_NAMES = frozenset({"client_sends", "server_sends", "send"})
+RESET_NAME = "reset_direction"
+
+
+def _decorator_matches(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr == DECORATOR_NAME
+    if isinstance(node, ast.Name):
+        return node.id == DECORATOR_NAME
+    return False
+
+
+def is_protocol_entry(func: ast.AST) -> bool:
+    """Does ``func`` carry the ``@protocol_entry`` decorator?"""
+    return any(
+        _decorator_matches(dec)
+        for dec in getattr(func, "decorator_list", [])
+    )
+
+
+class ProtocolEntryChecker(Checker):
+    rule = "protocol-entry"
+    severity = Severity.ERROR
+    description = (
+        "@protocol_entry functions that send directly on the channel must "
+        "call channel.reset_direction() before their first send"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if not mod.in_scope():
+            return
+        for func in mod.functions():
+            if not is_protocol_entry(func):
+                continue
+            finding = self._check_function(mod, func)
+            if finding is not None:
+                yield finding
+
+    def _check_function(
+        self, mod: ModuleInfo, func: ast.AST
+    ) -> Optional[Finding]:
+        first_send: Optional[ast.Call] = None
+        first_reset: Optional[ast.Call] = None
+        for node in walk_in_order(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                    node is not func:
+                continue  # nested defs are separate entry points (or not)
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == RESET_NAME and first_reset is None:
+                first_reset = node
+            elif name in SEND_NAMES and first_send is None:
+                first_send = node
+        if first_send is None:
+            return None  # pure delegation: the composed callees reset
+        send_pos = (first_send.lineno, first_send.col_offset)
+        if first_reset is not None and \
+                (first_reset.lineno, first_reset.col_offset) < send_pos:
+            return None
+        func_name = getattr(func, "name", "<lambda>")
+        return self.finding(
+            mod,
+            first_send,
+            f"protocol entry point {func_name}() sends on the channel "
+            f"before calling reset_direction(); round accounting will "
+            f"fold this phase into the caller's last round",
+        )

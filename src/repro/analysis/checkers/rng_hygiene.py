@@ -1,0 +1,95 @@
+"""Rule ``rng-hygiene``: crypto code must not touch ambient RNGs.
+
+``random`` (Mersenne Twister) and ``numpy.random`` are fine for data
+synthesis and experiment plumbing, but a Paillier nonce, a DGK blinding
+factor or an OT key drawn from them is predictable from a handful of
+outputs. Inside the cryptographic packages every draw must route
+through :mod:`repro.crypto.rand`, which owns the deterministic-vs-OS-
+entropy split (``DeterministicRandom`` seeded for reproducible
+experiments, ``SystemRandom``-backed when ``seed is None``).
+
+Flags, inside :data:`~repro.analysis.framework.CRYPTO_SCOPE` modules:
+
+* ``import random`` / ``from random import ...``
+* ``import numpy.random`` / ``from numpy.random import ...``
+* attribute access ``np.random.*`` / ``numpy.random.*``
+
+:mod:`repro.crypto.rand` itself is the one exempt module -- it is the
+boundary that wraps the stdlib generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, ModuleInfo
+
+EXEMPT_MODULES = frozenset({"repro.crypto.rand"})
+
+_NUMPY_ALIASES = frozenset({"numpy", "np", "_np"})
+
+
+class RngHygieneChecker(Checker):
+    rule = "rng-hygiene"
+    severity = Severity.ERROR
+    description = (
+        "crypto/protocol code must draw randomness via repro.crypto.rand, "
+        "never the ambient random/numpy.random generators"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if not mod.in_scope() or mod.module in EXEMPT_MODULES:
+            return
+        yield from self._check_imports(mod)
+        yield from self._check_attributes(mod)
+
+    def _check_imports(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random" or alias.name.startswith(
+                        "numpy.random"
+                    ):
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"import of {alias.name!r} in crypto scope; "
+                            f"route randomness through repro.crypto.rand",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                root = module.split(".")[0]
+                if root == "random" or module.startswith("numpy.random"):
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"import from {module!r} in crypto scope; "
+                        f"route randomness through repro.crypto.rand",
+                    )
+                elif module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self.finding(
+                        mod,
+                        node,
+                        "import of numpy.random in crypto scope; "
+                        "route randomness through repro.crypto.rand",
+                    )
+
+    def _check_attributes(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in _NUMPY_ALIASES
+            ):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"use of {node.value.id}.random in crypto scope; "
+                    f"route randomness through repro.crypto.rand",
+                )

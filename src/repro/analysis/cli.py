@@ -1,0 +1,136 @@
+"""``python -m repro lint``: the CLI face of the invariant linter.
+
+Exit codes: 0 when every finding is baselined (or there are none),
+1 when new findings exist or the baseline is stale (lists debt that no
+longer reproduces -- re-freeze with ``--write-baseline``), 2 on usage
+errors (missing baseline file, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import ALL_CHECKERS, run_checks
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    save_baseline,
+    split_by_baseline,
+)
+from repro.analysis.findings import Finding
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of known findings; anything beyond it fails",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="freeze the current findings into --baseline (or the "
+             "default .repro-lint-baseline.json) and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _print_rules() -> None:
+    width = max(len(checker.rule) for checker in ALL_CHECKERS)
+    for checker in ALL_CHECKERS:
+        print(f"{checker.rule:<{width}}  [{checker.severity.value}] "
+              f"{checker.description}")
+
+
+def _report_text(fresh: List[Finding], known_count: int,
+                 stale: dict) -> None:
+    for finding in fresh:
+        print(finding.render())
+    if stale:
+        print(
+            f"stale baseline: {sum(stale.values())} baselined finding(s) "
+            f"no longer reproduce -- re-freeze with --write-baseline",
+            file=sys.stderr,
+        )
+    summary = f"{len(fresh)} new finding(s)"
+    if known_count:
+        summary += f", {known_count} baselined"
+    print(summary, file=sys.stderr)
+
+
+def _report_json(fresh: List[Finding], known: List[Finding],
+                 stale: dict) -> None:
+    print(json.dumps(
+        {
+            "new": [f.to_dict() for f in fresh],
+            "baselined": [f.to_dict() for f in known],
+            "stale_baseline_fingerprints": stale,
+        },
+        indent=2,
+    ))
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint command; returns the process exit code."""
+    if args.list_rules:
+        _print_rules()
+        return EXIT_CLEAN
+
+    findings = run_checks(args.paths)
+
+    if args.write_baseline:
+        from repro.analysis.baseline import DEFAULT_BASELINE
+
+        target = args.baseline or DEFAULT_BASELINE
+        save_baseline(target, findings)
+        print(f"wrote {len(findings)} finding(s) to {target}",
+              file=sys.stderr)
+        return EXIT_CLEAN
+
+    known: List[Finding] = []
+    fresh = findings
+    stale: dict = {}
+    if args.baseline is not None:
+        try:
+            allowed = load_baseline(args.baseline)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE
+        known, fresh, stale = split_by_baseline(findings, allowed)
+
+    if args.format == "json":
+        _report_json(fresh, known, stale)
+    else:
+        _report_text(fresh, len(known), stale)
+    return EXIT_FINDINGS if fresh or stale else EXIT_CLEAN
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="crypto/protocol invariant linter for this repository",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro CLI
+    sys.exit(main())

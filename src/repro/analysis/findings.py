@@ -1,0 +1,94 @@
+"""Finding records produced by the invariant linter."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are invariant violations that can leak private
+    data or corrupt a protocol run; ``WARNING`` findings are hygiene
+    problems that make such violations easy to introduce. Both fail the
+    lint gate unless baselined or suppressed -- the severity is a
+    reading aid, not a bypass.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        The rule identifier (e.g. ``channel-leak``), usable in a
+        ``# repro: allow[rule]`` pragma.
+    severity:
+        :class:`Severity` of the rule.
+    path:
+        Path of the offending file as given to the linter.
+    module:
+        Dotted module name (stable across checkouts; used for
+        fingerprints so baselines survive repository moves).
+    line:
+        1-based source line of the violation.
+    message:
+        Human-readable description of what is wrong and why it matters.
+    snippet:
+        The stripped source line, for fingerprinting and display.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    module: str
+    line: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Location-tolerant identity of this finding.
+
+        Derived from the module, rule and offending source text rather
+        than the line number, so unrelated edits above a baselined
+        finding do not resurrect it.
+        """
+        basis = f"{self.module}::{self.rule}::{self.snippet}"
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line: [rule] message``)."""
+        return (
+            f"{self.path}:{self.line}: {self.severity.value} "
+            f"[{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class FindingCollector:
+    """Mutable accumulator checkers append into (keeps checker code terse)."""
+
+    findings: list = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)

@@ -1,0 +1,266 @@
+"""Shared visitor framework for the invariant checkers.
+
+A checker is a small class with a ``rule`` id and a ``check(module)``
+method producing :class:`~repro.analysis.findings.Finding` objects.
+This module owns everything checkers share: parsing files once into
+:class:`ModuleInfo` records, mapping file paths to dotted module names,
+the ``# repro: allow[rule-id]`` suppression pragma, and the
+:func:`run_checks` driver the CLI and the test suite call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding, Severity
+
+#: Packages holding cryptographic or protocol code; the scoped rules
+#: (RNG hygiene, channel leaks, exception hygiene, ...) apply here.
+CRYPTO_SCOPE = ("repro.crypto", "repro.smc", "repro.circuits", "repro.secure")
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-*,\s]+)\]")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module, shared by every checker.
+
+    Attributes
+    ----------
+    path:
+        The file path as given to the linter (used in reports).
+    module:
+        Dotted module name (``repro.smc.wire``); scoped checkers key off
+        this, and tests can inject synthetic names for fixture files.
+    source / lines:
+        Raw text and its split lines (1-based access via
+        :meth:`line_text`).
+    tree:
+        The parsed ``ast.Module``.
+    allows:
+        Per-line suppression pragmas: line number -> set of rule ids
+        (``*`` suppresses every rule on that line).
+    """
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    allows: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, module: str, path: str = "<memory>"
+    ) -> "ModuleInfo":
+        """Parse ``source`` into a ready-to-check module record."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=tree,
+            lines=lines,
+            allows=_parse_pragmas(lines),
+        )
+
+    @classmethod
+    def from_path(
+        cls, path: Path, module: Optional[str] = None
+    ) -> "ModuleInfo":
+        """Load and parse a file; the module name is derived from the
+        path unless given explicitly."""
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(
+            source, module or module_name_for(path), path=str(path)
+        )
+
+    def line_text(self, line: int) -> str:
+        """The stripped text of 1-based ``line`` (empty when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when a pragma on ``line`` or the line above allows ``rule``."""
+        for candidate in (line, line - 1):
+            allowed = self.allows.get(candidate)
+            if allowed and (rule in allowed or "*" in allowed):
+                return True
+        return False
+
+    def in_scope(self, packages: Sequence[str] = CRYPTO_SCOPE) -> bool:
+        """True when this module lives inside one of ``packages``."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def functions(self) -> Iterator[ast.AST]:
+        """Every function/method definition in the module, source order."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+def _parse_pragmas(lines: List[str]) -> Dict[int, Set[str]]:
+    allows: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        match = _PRAGMA.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            allows[number] = {rule for rule in rules if rule}
+    return allows
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``.
+
+    Uses the path segments after the last ``src`` component when one is
+    present (``src/repro/smc/wire.py`` -> ``repro.smc.wire``), so names
+    are stable no matter which directory the linter is invoked from.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    while parts and parts[0] in (".", "/", path.anchor):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule``, ``severity`` and ``description`` and
+    implement :meth:`check`, yielding findings for one parsed module.
+    """
+
+    rule: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, mod: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s source line."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.rule,
+            severity=self.severity,
+            path=mod.path,
+            module=mod.module,
+            line=line,
+            message=message,
+            snippet=mod.line_text(line),
+        )
+
+
+def check_module(
+    mod: ModuleInfo,
+    checkers: Optional[Sequence[Checker]] = None,
+    respect_pragmas: bool = True,
+) -> List[Finding]:
+    """Run ``checkers`` over one module, honouring suppression pragmas."""
+    from repro.analysis.checkers import ALL_CHECKERS
+
+    results: List[Finding] = []
+    for checker in checkers if checkers is not None else ALL_CHECKERS:
+        for finding in checker.check(mod):
+            if respect_pragmas and mod.is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            results.append(finding)
+    return results
+
+
+def run_checks(
+    paths: Iterable[str],
+    checkers: Optional[Sequence[Checker]] = None,
+    respect_pragmas: bool = True,
+) -> List[Finding]:
+    """Lint every python file under ``paths``; the library entry point.
+
+    Unparseable files surface as ``parse-error`` findings rather than
+    exceptions, so a syntax error cannot silently shrink the lint
+    surface.
+    """
+    results: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            mod = ModuleInfo.from_path(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            results.append(
+                Finding(
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    path=str(path),
+                    module=module_name_for(path),
+                    line=getattr(error, "lineno", None) or 1,
+                    message=f"cannot parse file: {error}",
+                )
+            )
+            continue
+        results.extend(check_module(mod, checkers, respect_pragmas))
+    results.sort(key=lambda f: (f.path, f.line, f.rule))
+    return results
+
+
+# -- small AST helpers shared by the checkers --------------------------------
+
+
+def call_name(node: ast.AST) -> str:
+    """The rightmost name of a call target (``ctx.channel.send`` -> ``send``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def dotted_source(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def walk_in_order(node: ast.AST) -> Iterator[ast.AST]:
+    """Depth-first traversal yielding nodes in source order."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        yield from walk_in_order(child)

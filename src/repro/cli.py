@@ -16,6 +16,9 @@ Commands
     Run the Fredrikson-style model-inversion escalation.
 ``calibrate``
     Micro-benchmark this machine's crypto and print the profile.
+``lint``
+    Run the crypto/protocol invariant linter (see
+    ``docs/STATIC_ANALYSIS.md``).
 
 Every command is deterministic given ``--seed``.
 """
@@ -106,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "calibrate", help="micro-benchmark this machine's crypto"
     )
+
+    lint = commands.add_parser(
+        "lint", help="run the crypto/protocol invariant linter"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -131,6 +141,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "attack": _cmd_attack,
         "calibrate": _cmd_calibrate,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -269,6 +280,12 @@ def _cmd_attack(args: argparse.Namespace) -> int:
                            report.advantage])
     table.print()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:

@@ -1,15 +1,30 @@
-"""Seedable randomness for reproducible cryptographic experiments.
+"""Randomness for cryptographic experiments: deterministic or OS-backed.
 
 All key generation and protocol randomness in this package flows through
-a :class:`DeterministicRandom` instance. Seeding one instance and passing
-it everywhere makes an entire secure-classification run bit-for-bit
-reproducible, which the test suite and benchmark harness rely on.
+a :class:`DeterministicRandom` instance, which runs in one of two
+explicitly separated modes:
 
-The default module-level generator (:func:`default_rng`) is seeded from a
-fixed constant so that importing the library and running an example gives
-the same transcript every time. Callers that want fresh randomness can
-construct ``DeterministicRandom(seed=None)``, which falls back to the
-operating system entropy pool.
+* **Seeded (deterministic) mode** -- ``DeterministicRandom(seed=int)``
+  wraps a Mersenne-Twister :class:`random.Random`. Seeding one instance
+  and passing it everywhere makes an entire secure-classification run
+  bit-for-bit reproducible, which the test suite and benchmark harness
+  rely on. The Mersenne Twister is *not* cryptographically secure: an
+  observer of ~624 outputs can reconstruct the stream. This mode exists
+  for reproducible experiments only.
+* **System (secure) mode** -- ``DeterministicRandom(seed=None)`` wraps
+  :class:`random.SystemRandom`, drawing every value from the operating
+  system entropy pool (``os.urandom``). This is the default for
+  anything resembling deployment (see :func:`secure_rng`), and what
+  docs/SECURITY.md means by "a deployment would seed from OS entropy".
+
+The default module-level generator (:func:`default_rng`) is seeded from
+a fixed constant so that importing the library and running an example
+gives the same transcript every time.
+
+This module is the single place the stdlib generators may be touched:
+the ``rng-hygiene`` rule of :mod:`repro.analysis` flags any other
+``random`` / ``numpy.random`` use inside the crypto, SMC, circuit and
+secure-classifier packages.
 """
 
 from __future__ import annotations
@@ -21,22 +36,33 @@ _DEFAULT_SEED = 0x5EED_CAFE
 
 
 class DeterministicRandom:
-    """A wrapper over :class:`random.Random` with crypto-flavoured helpers.
+    """A wrapper over the stdlib generators with crypto-flavoured helpers.
 
     Parameters
     ----------
     seed:
-        Integer seed. ``None`` seeds from OS entropy (non-reproducible).
+        Integer seed selects the reproducible Mersenne-Twister mode.
+        ``None`` selects the :class:`random.SystemRandom` (OS entropy)
+        mode -- non-reproducible and suitable for real key material.
     """
 
     def __init__(self, seed: Optional[int] = _DEFAULT_SEED) -> None:
-        self._random = random.Random(seed)
+        if seed is None:
+            self._random: random.Random = random.SystemRandom()
+        else:
+            self._random = random.Random(seed)
         self._seed = seed
 
     @property
     def seed(self) -> Optional[int]:
-        """The seed this generator was constructed with."""
+        """The seed this generator was constructed with (``None`` in
+        system mode)."""
         return self._seed
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True in seeded (reproducible) mode, False on OS entropy."""
+        return self._seed is not None
 
     def getrandbits(self, bits: int) -> int:
         """Return a uniformly random integer with at most ``bits`` bits."""
@@ -99,11 +125,17 @@ class DeterministicRandom:
         return self._random.uniform(low, high)
 
     def fork(self) -> "DeterministicRandom":
-        """Return a new generator deterministically derived from this one.
+        """Return a new generator derived from this one.
 
-        Useful to hand independent streams to each party in a protocol
-        without the parties' consumption patterns perturbing each other.
+        In seeded mode the child is deterministically derived, so each
+        party in a protocol gets an independent stream without the
+        parties' consumption patterns perturbing each other. In system
+        mode the child is simply another OS-entropy generator: deriving
+        a "child seed" from a secure stream would silently downgrade the
+        child to the reconstructible Mersenne Twister.
         """
+        if self._seed is None:
+            return DeterministicRandom(seed=None)
         child_seed = self.getrandbits(64)
         return DeterministicRandom(seed=child_seed)
 
@@ -128,3 +160,13 @@ def fresh_rng(seed: int) -> DeterministicRandom:
     constructor when the intent is "give me an isolated stream".
     """
     return DeterministicRandom(seed=seed)
+
+
+def secure_rng() -> DeterministicRandom:
+    """Return a fresh OS-entropy (``SystemRandom``-backed) generator.
+
+    The non-reproducible counterpart of :func:`fresh_rng`; use it
+    whenever the randomness protects real data rather than an
+    experiment transcript.
+    """
+    return DeterministicRandom(seed=None)

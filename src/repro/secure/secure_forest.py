@@ -43,7 +43,7 @@ from repro.secure.secure_tree import SecureDecisionTreeClassifier, _internal_nod
 from repro.smc.argmax import secure_argmax
 from repro.smc.comparison import compare_encrypted_many
 from repro.smc.context import TwoPartyContext
-from repro.smc.protocol import ExecutionTrace, Op
+from repro.smc.protocol import ExecutionTrace, Op, protocol_entry
 
 
 class SecureRandomForestClassifier(SecureClassifier):
@@ -81,6 +81,7 @@ class SecureRandomForestClassifier(SecureClassifier):
 
     # -- live protocol -----------------------------------------------------
 
+    @protocol_entry
     def classify(
         self,
         ctx: TwoPartyContext,

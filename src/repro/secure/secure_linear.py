@@ -44,7 +44,7 @@ from repro.smc.dotproduct import (
     batched_encrypted_dot_products,
     encrypt_feature_vector,
 )
-from repro.smc.protocol import ExecutionTrace
+from repro.smc.protocol import ExecutionTrace, protocol_entry
 
 
 class SecureLinearClassifier(SecureClassifier):
@@ -114,6 +114,7 @@ class SecureLinearClassifier(SecureClassifier):
 
     # -- live protocol ------------------------------------------------------
 
+    @protocol_entry
     def classify(
         self,
         ctx: TwoPartyContext,

@@ -38,7 +38,7 @@ from repro.secure.encoding import FixedPointEncoder
 from repro.smc.argmax import secure_argmax
 from repro.smc.context import TwoPartyContext
 from repro.smc.lookup import encrypt_indicator_vector, indicator_lookup
-from repro.smc.protocol import ExecutionTrace, Op
+from repro.smc.protocol import ExecutionTrace, Op, protocol_entry
 
 
 class SecureNaiveBayesClassifier(SecureClassifier):
@@ -100,6 +100,7 @@ class SecureNaiveBayesClassifier(SecureClassifier):
 
     # -- live protocol --------------------------------------------------------
 
+    @protocol_entry
     def classify(
         self,
         ctx: TwoPartyContext,

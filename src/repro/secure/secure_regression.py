@@ -34,7 +34,7 @@ from repro.secure.costing import (
 from repro.secure.encoding import FixedPointEncoder
 from repro.smc.context import TwoPartyContext
 from repro.smc.dotproduct import encrypt_feature_vector, encrypted_dot_product
-from repro.smc.protocol import ExecutionTrace
+from repro.smc.protocol import ExecutionTrace, protocol_entry
 
 
 class SecureRegression(SecureClassifier):
@@ -105,6 +105,7 @@ class SecureRegression(SecureClassifier):
         """Run the live protocol; the client learns the dose."""
         return self.encoder.decode(self._secure_score(ctx, row, disclosure_set))
 
+    @protocol_entry
     def _secure_score(
         self, ctx: TwoPartyContext, row: np.ndarray, disclosure_set
     ) -> int:

@@ -45,7 +45,7 @@ from repro.secure.costing import (
 )
 from repro.smc.comparison import compare_encrypted_many
 from repro.smc.context import TwoPartyContext
-from repro.smc.protocol import ExecutionTrace, Op
+from repro.smc.protocol import ExecutionTrace, Op, protocol_entry
 
 
 @dataclass
@@ -142,6 +142,7 @@ class SecureDecisionTreeClassifier(SecureClassifier):
 
     # -- live protocol -------------------------------------------------------------
 
+    @protocol_entry
     def classify(
         self,
         ctx: TwoPartyContext,

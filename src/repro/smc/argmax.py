@@ -28,7 +28,7 @@ from repro.crypto.ot import one_of_n_transfer
 from repro.crypto.paillier import PaillierCiphertext
 from repro.smc.comparison import compare_encrypted_client_learns
 from repro.smc.context import TwoPartyContext
-from repro.smc.protocol import Op
+from repro.smc.protocol import Op, protocol_entry
 
 
 class ArgmaxError(Exception):
@@ -37,6 +37,7 @@ class ArgmaxError(Exception):
 _OT_INDEX_BYTES = 4
 
 
+@protocol_entry
 def secure_argmax(
     ctx: TwoPartyContext,
     encrypted_values: Sequence[PaillierCiphertext],
@@ -93,6 +94,10 @@ def secure_argmax(
         blind_max = ctx.blinding_noise(bit_length)
         blind_challenger = ctx.blinding_noise(bit_length)
         ctx.trace.count(Op.PAILLIER_ADD, 2)
+        # The tournament's first wire crossing happens inside
+        # compare_encrypted_client_learns above, which owns the phase
+        # reset; this send deliberately continues that round structure.
+        # repro: allow[protocol-entry]
         blinded_pair = ctx.channel.server_sends(
             ctx.rerandomize_batch(
                 [current_max + blind_max, challenger + blind_challenger]

@@ -29,7 +29,7 @@ from typing import List, Sequence, Tuple
 from repro.crypto.dgk import DgkCiphertext
 from repro.crypto.paillier import PaillierCiphertext
 from repro.smc.context import TwoPartyContext
-from repro.smc.protocol import Op
+from repro.smc.protocol import Op, protocol_entry
 
 
 class ComparisonError(Exception):
@@ -54,6 +54,7 @@ def _bits_lsb_first(value: int, width: int) -> List[int]:
     return [(value >> i) & 1 for i in range(width)]
 
 
+@protocol_entry
 def dgk_compare(
     ctx: TwoPartyContext, client_value: int, server_value: int, bit_length: int
 ) -> SharedBit:
@@ -142,6 +143,7 @@ def dgk_compare(
     return SharedBit(client_share=int(found_zero), server_share=server_share)
 
 
+@protocol_entry
 def _encrypted_z_bit(
     ctx: TwoPartyContext, z_encrypted: PaillierCiphertext, bit_length: int
 ) -> Tuple[int, int, SharedBit, int]:
@@ -174,6 +176,7 @@ def _encrypted_z_bit(
     return d_high, r_high, borrow, noise
 
 
+@protocol_entry
 def compare_encrypted(
     ctx: TwoPartyContext, z_encrypted: PaillierCiphertext, bit_length: int
 ) -> PaillierCiphertext:
@@ -204,6 +207,7 @@ def compare_encrypted(
     return d_high_enc - r_high - borrow_enc
 
 
+@protocol_entry
 def compare_encrypted_client_learns(
     ctx: TwoPartyContext, z_encrypted: PaillierCiphertext, bit_length: int
 ) -> int:
@@ -228,6 +232,7 @@ def compare_encrypted_client_learns(
     return bit
 
 
+@protocol_entry
 def dgk_compare_many(
     ctx: TwoPartyContext,
     pairs: Sequence[Tuple[int, int]],
@@ -316,6 +321,7 @@ def dgk_compare_many(
     return results
 
 
+@protocol_entry
 def compare_encrypted_many(
     ctx: TwoPartyContext,
     z_encrypted: Sequence[PaillierCiphertext],
@@ -376,6 +382,7 @@ def compare_encrypted_many(
     return results
 
 
+@protocol_entry
 def compare_values_encrypted(
     ctx: TwoPartyContext,
     a_encrypted: PaillierCiphertext,
@@ -389,6 +396,7 @@ def compare_values_encrypted(
     return compare_encrypted(ctx, z, bit_length)
 
 
+@protocol_entry
 def sign_test_client_learns(
     ctx: TwoPartyContext,
     score_encrypted: PaillierCiphertext,

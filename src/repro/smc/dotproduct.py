@@ -18,13 +18,14 @@ from typing import List, Sequence
 
 from repro.crypto.paillier import PaillierCiphertext
 from repro.smc.context import TwoPartyContext
-from repro.smc.protocol import Op
+from repro.smc.protocol import Op, protocol_entry
 
 
 class DotProductError(Exception):
     """Raised on shape mismatches in the encrypted dot product."""
 
 
+@protocol_entry
 def encrypt_feature_vector(
     ctx: TwoPartyContext, values: Sequence[int]
 ) -> List[PaillierCiphertext]:

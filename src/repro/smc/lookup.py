@@ -23,7 +23,7 @@ from typing import List, Sequence
 from repro.crypto.ot import one_of_n_transfer
 from repro.crypto.paillier import PaillierCiphertext
 from repro.smc.context import TwoPartyContext
-from repro.smc.protocol import Op
+from repro.smc.protocol import Op, protocol_entry
 
 _OT_VALUE_BYTES = 16
 
@@ -32,6 +32,7 @@ class LookupError_(Exception):
     """Raised on invalid lookup inputs (domain mismatch, bad index)."""
 
 
+@protocol_entry
 def encrypt_indicator_vector(
     ctx: TwoPartyContext, value_index: int, domain_size: int
 ) -> List[PaillierCiphertext]:
@@ -70,6 +71,7 @@ def indicator_lookup(
     return ctx.engine.dot_product(encrypted_indicators, table_column)
 
 
+@protocol_entry
 def ot_lookup_shares(
     ctx: TwoPartyContext,
     table: Sequence[int],

@@ -19,7 +19,34 @@ import enum
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Registry of functions marked with :func:`protocol_entry`, keyed by
+#: ``module.qualname``. Tests and the static analyser use it to know
+#: which functions own a protocol phase.
+PROTOCOL_ENTRY_POINTS: Dict[str, Callable] = {}
+
+
+def protocol_entry(func: _F) -> _F:
+    """Mark ``func`` as a protocol entry point.
+
+    Entry points own a fresh protocol *phase*: their first channel
+    message opens a new communication round regardless of which party
+    spoke last in the surrounding composition, which they guarantee by
+    calling ``channel.reset_direction()`` before their first direct
+    send. The contract is enforced statically by the ``protocol-entry``
+    rule of :mod:`repro.analysis` (functions that only delegate to
+    other entry points pass trivially -- the callee resets).
+
+    The decorator is metadata-only at runtime: it tags the function and
+    registers it in :data:`PROTOCOL_ENTRY_POINTS`, adding zero overhead
+    on the hot path.
+    """
+    func.__protocol_entry__ = True
+    PROTOCOL_ENTRY_POINTS[f"{func.__module__}.{func.__qualname__}"] = func
+    return func
 
 
 class Op(enum.Enum):

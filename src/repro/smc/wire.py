@@ -102,6 +102,31 @@ _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
 
 
+def tag_registry() -> dict:
+    """All ``TAG_*`` type-tag constants of this codec, by name.
+
+    The authoritative enumeration of wire shapes: the round-trip
+    property tests iterate it so a newly added tag is automatically
+    covered (the test fails until a sample payload for it exists), and
+    the ``wire-tags`` lint rule enforces that each entry has both an
+    encode and a decode branch.
+    """
+    return {
+        name: value
+        for name, value in globals().items()
+        if name.startswith("TAG_") and isinstance(value, int)
+    }
+
+
+def kind_registry() -> dict:
+    """All ``KIND_*`` frame-kind constants, by name."""
+    return {
+        name: value
+        for name, value in globals().items()
+        if name.startswith("KIND_") and isinstance(value, int)
+    }
+
+
 class WireError(Exception):
     """Raised on unencodable payloads or malformed wire data."""
 

@@ -1,0 +1,48 @@
+"""Fixture for the ``channel-leak`` rule (linted as ``repro.smc.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding. This file
+is lint test data -- it is never imported.
+"""
+
+
+def leaks_decrypted_value(ctx, ciphertext):
+    revealed = ctx.client_decrypt(ciphertext)
+    ctx.channel.client_sends(revealed)  # BAD
+
+
+def leaks_through_arithmetic(ctx, ciphertext):
+    raw = ctx.paillier.private_key.decrypt_raw(ciphertext)
+    shifted = raw >> 8
+    ctx.channel.server_sends([shifted, 1])  # BAD
+
+
+def leaks_through_container(ctx, ciphertexts):
+    out = []
+    for ciphertext in ciphertexts:
+        out.append(ctx.client_decrypt(ciphertext))
+    ctx.channel.client_sends(out)  # BAD
+
+
+def leaks_private_key_material(ctx, transport, direction):
+    transport.exchange(direction, ctx.paillier.private_key.p)  # BAD
+
+
+def sanitized_by_encrypt(ctx, ciphertext):
+    revealed = ctx.client_decrypt(ciphertext)
+    ctx.channel.client_sends(ctx.client_encrypt(revealed))
+
+
+def sanitized_by_encode(ctx, sock, wire, ciphertext):
+    revealed = ctx.client_decrypt(ciphertext)
+    wire.send_frame(sock, 1, wire.encode(revealed))
+
+
+def reassignment_clears_taint(ctx, ciphertext):
+    value = ctx.client_decrypt(ciphertext)
+    value = 0
+    ctx.channel.client_sends(value)
+
+
+def untainted_traffic_is_fine(ctx, noise):
+    blinded = noise + 17
+    ctx.channel.server_sends(blinded)

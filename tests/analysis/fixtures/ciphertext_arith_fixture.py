@@ -1,0 +1,33 @@
+"""Fixture for the ``ciphertext-arith`` rule (linted as ``repro.smc.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding. This file
+is lint test data -- it is never imported.
+"""
+
+
+def division_on_ciphertext(ctx, values):
+    total = ctx.client_encrypt(0)
+    for value in values:
+        total = total + value
+    return total / len(values)  # BAD
+
+
+def float_weight_on_ciphertext(enc_x: "PaillierCiphertext"):
+    return enc_x * 0.5  # BAD
+
+
+def equality_against_literal(ctx, enc_bit):
+    masked = ctx.rerandomize(enc_bit)
+    if masked == 0:  # BAD
+        return ctx.client_encrypt(1)
+    return masked
+
+
+def integer_scaling_is_fine(ctx, enc_x):
+    scaled = ctx.client_encrypt(3)
+    return scaled + ctx.client_encrypt(4)
+
+
+def plain_float_math_is_fine(values):
+    mean = sum(values) / len(values)
+    return mean == 0

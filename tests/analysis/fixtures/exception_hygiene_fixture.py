@@ -1,0 +1,40 @@
+"""Fixture for the ``exception-hygiene`` rule (linted as ``repro.smc.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding. This file
+is lint test data -- it is never imported.
+"""
+
+
+def swallows_everything(sock):
+    try:
+        sock.close()
+    except:  # BAD
+        pass
+
+
+def swallows_exception(channel):
+    try:
+        channel.flush()
+    except Exception:  # BAD
+        return None
+
+
+def swallows_in_tuple(channel):
+    try:
+        channel.flush()
+    except (ValueError, Exception):  # BAD
+        return None
+
+
+def rethrows_is_fine(channel):
+    try:
+        channel.flush()
+    except Exception as exc:
+        raise RuntimeError("flush failed") from exc
+
+
+def narrow_handler_is_fine(blob):
+    try:
+        return int(blob)
+    except ValueError:
+        return None

@@ -1,0 +1,26 @@
+"""Fixture for the ``mutable-default`` rule (linted as ``repro.util.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding. This file
+is lint test data -- it is never imported.
+"""
+
+
+def list_default(values=[]):  # BAD
+    values.append(1)
+    return values
+
+
+def dict_default(cache={}):  # BAD
+    return cache
+
+
+def call_default(seen=set()):  # BAD
+    return seen
+
+
+def none_default_is_fine(values=None):
+    return values or []
+
+
+def tuple_default_is_fine(shape=(3, 4)):
+    return shape

@@ -1,0 +1,27 @@
+"""Fixture for the ``rng-hygiene`` rule (linted as ``repro.crypto.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding; everything
+else must stay clean. This file is lint test data -- it is never
+imported.
+"""
+
+import random  # BAD
+import numpy.random  # BAD
+from random import randint  # BAD
+from numpy.random import normal  # BAD
+from numpy import random as np_random  # BAD
+import numpy as np
+
+from repro.crypto.rand import fresh_rng
+
+
+def good_draw():
+    return fresh_rng(7).getrandbits(64)
+
+
+def bad_attribute_draw():
+    return np.random.random()  # BAD
+
+
+def unrelated_attribute_is_fine(obj):
+    return obj.not_random

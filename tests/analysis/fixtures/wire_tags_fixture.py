@@ -1,0 +1,39 @@
+"""Fixture for the ``wire-tags`` rule (linted as ``repro.smc.fixture``).
+
+A miniature codec module: ``TAG_INT`` and ``TAG_BYTES`` are fully
+wired, ``TAG_ORPHAN`` never appears in any encode/decode function (two
+findings on its definition line), ``TAG_HALF`` is encoded but never
+decoded, and ``FakeCiphertext`` is only handled on the encode side.
+This file is lint test data -- it is never imported.
+"""
+
+TAG_INT = 0x01
+TAG_BYTES = 0x02
+TAG_ORPHAN = 0x03  # BAD-ENCODE BAD-DECODE
+TAG_HALF = 0x04  # BAD-DECODE
+
+
+class FakeCiphertext:  # BAD-DECODE
+    def __init__(self, value):
+        self.value = value
+
+
+def encode(payload):
+    if isinstance(payload, FakeCiphertext):
+        return bytes([TAG_INT]) + encode(payload.value)
+    if isinstance(payload, bool):
+        return bytes([TAG_HALF, int(payload)])
+    if isinstance(payload, int):
+        return bytes([TAG_INT]) + payload.to_bytes(8, "big", signed=True)
+    if isinstance(payload, bytes):
+        return bytes([TAG_BYTES]) + payload
+    raise TypeError(type(payload).__name__)
+
+
+def decode(blob):
+    tag, body = blob[0], blob[1:]
+    if tag == TAG_INT:
+        return int.from_bytes(body, "big", signed=True)
+    if tag == TAG_BYTES:
+        return body
+    raise ValueError(f"unknown tag {tag:#x}")

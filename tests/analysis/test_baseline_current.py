@@ -1,0 +1,44 @@
+"""The committed baseline must match a fresh lint run on ``src/``.
+
+Two failure modes are both errors: a fresh finding (new lint debt that
+should be fixed or consciously baselined) and a stale entry (debt that
+was paid down but left in the file). Either way the fix is explicit:
+address the finding or re-freeze with ``python -m repro lint src
+--write-baseline``.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_checks
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_by_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_committed_baseline_matches_fresh_run():
+    baseline_path = REPO / DEFAULT_BASELINE
+    assert baseline_path.exists(), (
+        f"missing {DEFAULT_BASELINE}; create it with "
+        f"'python -m repro lint src --write-baseline'"
+    )
+    findings = run_checks([str(REPO / "src")])
+    allowed = load_baseline(str(baseline_path))
+    _known, fresh, stale = split_by_baseline(findings, allowed)
+    assert not fresh, "unbaselined lint findings:\n" + "\n".join(
+        f.render() for f in fresh
+    )
+    assert not stale, (
+        f"stale baseline entries (re-freeze with --write-baseline): {stale}"
+    )
+
+
+def test_committed_baseline_is_currently_empty():
+    """The merged tree carries no lint debt; deliberate exemptions use
+    the ``# repro: allow[...]`` pragma with a justification instead of
+    the baseline. If debt is ever consciously added, update this test
+    alongside the baseline."""
+    assert load_baseline(str(REPO / DEFAULT_BASELINE)) == {}

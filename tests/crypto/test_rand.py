@@ -4,7 +4,12 @@ import math
 
 import pytest
 
-from repro.crypto.rand import DeterministicRandom, default_rng, fresh_rng
+from repro.crypto.rand import (
+    DeterministicRandom,
+    default_rng,
+    fresh_rng,
+    secure_rng,
+)
 
 
 class TestDeterminism:
@@ -77,3 +82,47 @@ class TestRanges:
 class TestDefault:
     def test_default_rng_singleton(self):
         assert default_rng() is default_rng()
+
+    def test_default_rng_is_seeded(self):
+        assert default_rng().is_deterministic
+        assert default_rng().seed is not None
+
+
+class TestSystemMode:
+    """``seed=None`` selects the OS-entropy (SystemRandom) mode."""
+
+    def test_seed_none_reports_nondeterministic(self):
+        rng = DeterministicRandom(seed=None)
+        assert not rng.is_deterministic
+        assert rng.seed is None
+        assert fresh_rng(1).is_deterministic
+
+    def test_secure_rng_is_system_mode(self):
+        assert not secure_rng().is_deterministic
+        assert secure_rng().seed is None
+
+    def test_system_instances_do_not_share_a_stream(self):
+        # Two seeded instances with the same seed agree; two system
+        # instances drawing 256 bits colliding would mean the OS
+        # entropy pool is broken, not the test.
+        draws = {secure_rng().getrandbits(256) for _ in range(4)}
+        assert len(draws) == 4
+
+    def test_system_mode_supports_the_full_interface(self):
+        rng = secure_rng()
+        assert 0 <= rng.randbelow(10) < 10
+        assert 1 <= rng.randint(1, 6) <= 6
+        assert rng.random_odd(64) % 2 == 1
+        assert math.gcd(rng.random_unit(15), 15) == 1
+        assert len(set(rng.sample(range(100), 10))) == 10
+        assert 0.0 <= rng.uniform(0.0, 1.0) < 1.0
+
+    def test_fork_stays_in_system_mode(self):
+        # Deriving a child *seed* from a secure stream would silently
+        # downgrade the child to the reconstructible Mersenne Twister.
+        child = secure_rng().fork()
+        assert not child.is_deterministic
+        assert child.seed is None
+
+    def test_seeded_fork_stays_deterministic(self):
+        assert fresh_rng(11).fork().is_deterministic

@@ -12,7 +12,7 @@ metric.
 
 import pytest
 
-from repro import PipelineConfig, PrivacyAwareClassifier, RiskMetric
+from repro.api import PipelineConfig, PrivacyAwareClassifier, RiskMetric
 from repro.bench import Table
 
 from conftest import bench_config

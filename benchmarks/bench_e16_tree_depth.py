@@ -15,7 +15,7 @@ The benchmarked kernel is a disclosure optimization on the deepest tree.
 import numpy as np
 import pytest
 
-from repro import PrivacyAwareClassifier
+from repro.api import PrivacyAwareClassifier
 from repro.bench import Table
 from repro.data import generate_bayesnet_dataset
 from repro.smc.cost_model import CostModel, NATIVE_1024

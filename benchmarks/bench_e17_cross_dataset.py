@@ -11,7 +11,7 @@ The benchmarked kernel is one fit+select on the cancer cohort.
 
 import pytest
 
-from repro import PrivacyAwareClassifier, TradeoffAnalyzer
+from repro.api import PrivacyAwareClassifier, TradeoffAnalyzer
 from repro.bench import Table
 from repro.data import train_test_split
 

@@ -13,7 +13,7 @@ import time
 import numpy as np
 import pytest
 
-from repro import PipelineConfig, PrivacyAwareClassifier
+from repro.api import PipelineConfig, PrivacyAwareClassifier
 from repro.bench import Table
 from repro.selection import solve_branch_and_bound, solve_greedy
 

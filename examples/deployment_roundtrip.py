@@ -18,7 +18,7 @@ Run:  python examples/deployment_roundtrip.py
 import json
 import tempfile
 
-from repro import PipelineConfig, PrivacyAwareClassifier
+from repro.api import PipelineConfig, PrivacyAwareClassifier
 from repro.core.serialization import load_deployment, save_deployment
 from repro.data import generate_warfarin, train_test_split
 from repro.smc.context import make_context

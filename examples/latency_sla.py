@@ -11,7 +11,7 @@ optimum.
 Run:  python examples/latency_sla.py
 """
 
-from repro import PipelineConfig, PrivacyAwareClassifier
+from repro.api import PipelineConfig, PrivacyAwareClassifier
 from repro.bench import Table, format_seconds
 from repro.data import generate_warfarin, train_test_split
 from repro.selection.dual import solve_dual_exhaustive, solve_dual_greedy

@@ -9,7 +9,7 @@ DGK cryptography.
 Run:  python examples/quickstart.py
 """
 
-from repro import PipelineConfig, PrivacyAwareClassifier
+from repro.api import PipelineConfig, PrivacyAwareClassifier
 from repro.data import generate_warfarin, train_test_split
 
 

@@ -10,7 +10,7 @@ branch-and-bound frontier to show how little optimality greedy gives up.
 Run:  python examples/tradeoff_explorer.py
 """
 
-from repro import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
+from repro.api import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
 from repro.bench import Table
 from repro.data import (
     generate_adult_like,

@@ -19,7 +19,7 @@ Run:  python examples/warfarin_clinic.py
 
 import numpy as np
 
-from repro import PipelineConfig, PrivacyAwareClassifier
+from repro.api import PipelineConfig, PrivacyAwareClassifier
 from repro.bench import Table
 from repro.data import generate_warfarin, train_test_split
 from repro.data.warfarin import dose_bucket_names

@@ -14,6 +14,7 @@ from repro.analysis.checkers.rng_hygiene import RngHygieneChecker
 from repro.analysis.checkers.channel_leak import ChannelLeakChecker
 from repro.analysis.checkers.wire_tags import WireTagChecker
 from repro.analysis.checkers.protocol_entry import ProtocolEntryChecker
+from repro.analysis.checkers.telemetry_span import TelemetrySpanChecker
 from repro.analysis.checkers.ciphertext_arith import CiphertextArithChecker
 from repro.analysis.checkers.exception_hygiene import ExceptionHygieneChecker
 from repro.analysis.checkers.mutable_defaults import MutableDefaultChecker
@@ -23,6 +24,7 @@ ALL_CHECKERS: List[Checker] = [
     ChannelLeakChecker(),
     WireTagChecker(),
     ProtocolEntryChecker(),
+    TelemetrySpanChecker(),
     CiphertextArithChecker(),
     ExceptionHygieneChecker(),
     MutableDefaultChecker(),

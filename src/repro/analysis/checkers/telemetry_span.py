@@ -1,0 +1,102 @@
+"""Rule ``telemetry-span``: entry points must declare their span name.
+
+The observability contract (docs/OBSERVABILITY.md) names every protocol
+span explicitly -- ``dgk.compare``, ``classify.tree`` and friends -- so
+dashboards, the metrics inspector and the docs all speak one taxonomy.
+:func:`repro.smc.protocol.protocol_entry` *can* derive a span name from
+the function name when used bare, but inside the protocol packages that
+fallback is a taxonomy leak: a rename would silently rename the span and
+orphan every consumer of the old name.
+
+This checker requires every ``@protocol_entry`` use in crypto scope to
+pass an explicit ``span="..."`` keyword with a literal, non-empty,
+dotted lower-case name. Out-of-scope code (examples, tests, scratch
+experiments) may use the bare decorator freely.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, ModuleInfo
+
+DECORATOR_NAME = "protocol_entry"
+
+#: Span names are dotted lower-case segments: ``dgk.compare_many``.
+SPAN_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+def _entry_decorator(func: ast.AST) -> Optional[ast.AST]:
+    """The ``protocol_entry`` decorator node of ``func``, if present."""
+    for dec in getattr(func, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute) and target.attr == DECORATOR_NAME:
+            return dec
+        if isinstance(target, ast.Name) and target.id == DECORATOR_NAME:
+            return dec
+    return None
+
+
+class TelemetrySpanChecker(Checker):
+    rule = "telemetry-span"
+    severity = Severity.ERROR
+    description = (
+        "@protocol_entry functions in crypto scope must declare an "
+        "explicit literal span=\"...\" name (the span taxonomy is the "
+        "contract; derived names drift on rename)"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if not mod.in_scope():
+            return
+        for func in mod.functions():
+            dec = _entry_decorator(func)
+            if dec is None:
+                continue
+            finding = self._check_decorator(mod, func, dec)
+            if finding is not None:
+                yield finding
+
+    def _check_decorator(
+        self, mod: ModuleInfo, func: ast.AST, dec: ast.AST
+    ) -> Optional[Finding]:
+        func_name = getattr(func, "name", "<lambda>")
+        if not isinstance(dec, ast.Call):
+            return self.finding(
+                mod,
+                dec,
+                f"protocol entry point {func_name}() uses the bare "
+                f"@protocol_entry decorator; declare its span name "
+                f'explicitly: @protocol_entry(span="...")',
+            )
+        span_kw = next(
+            (kw for kw in dec.keywords if kw.arg == "span"), None
+        )
+        if span_kw is None:
+            return self.finding(
+                mod,
+                dec,
+                f"protocol entry point {func_name}() does not declare a "
+                f'span name; add span="..." to its @protocol_entry call',
+            )
+        value = span_kw.value
+        if not (isinstance(value, ast.Constant) and
+                isinstance(value.value, str)):
+            return self.finding(
+                mod,
+                span_kw.value,
+                f"protocol entry point {func_name}() computes its span "
+                f"name; the taxonomy requires a string literal",
+            )
+        if not SPAN_NAME_RE.match(value.value):
+            return self.finding(
+                mod,
+                span_kw.value,
+                f"protocol entry point {func_name}() declares span "
+                f"{value.value!r}; span names are dotted lower-case "
+                f'segments like "dgk.compare"',
+            )
+        return None

@@ -21,6 +21,7 @@ from repro.analysis.baseline import (
     split_by_baseline,
 )
 from repro.analysis.findings import Finding
+from repro.cliutil import add_format_argument
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -42,10 +43,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="freeze the current findings into --baseline (or the "
              "default .repro-lint-baseline.json) and exit 0",
     )
-    parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default text)",
-    )
+    add_format_argument(parser)
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",

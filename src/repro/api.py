@@ -1,0 +1,85 @@
+"""repro.api -- the unified public surface of the reproduction.
+
+One import gives everything a user of the library needs::
+
+    from repro.api import (
+        PipelineConfig, PrivacyAwareClassifier, SessionConfig,
+        TradeoffAnalyzer, make_context, telemetry,
+    )
+
+The facade re-exports the pipeline, the session configuration, the
+trade-off analyzer, live-session construction and the telemetry entry
+points eagerly; the deployment *serving* surface (``serve_deployment``,
+``request_classification``, ...) is re-exported lazily via PEP 562 so
+that ``import repro.api`` never drags in the TCP transport stack --
+scripts that only train and classify in-process stay light, and the
+facade import itself cannot open sockets or spawn process pools
+(``tests/core/test_api_facade.py`` pins this).
+
+Everything listed in ``__all__`` is public API with deprecation-window
+stability; anything else in the package tree is implementation detail.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+import repro.telemetry as telemetry
+from repro.core.exceptions import ReproError
+from repro.core.pipeline import PipelineConfig, PrivacyAwareClassifier
+from repro.core.session import SessionConfig
+from repro.core.tradeoff import TradeoffAnalyzer, TradeoffPoint
+from repro.privacy.risk import RiskMetric
+from repro.selection.problem import DisclosureProblem, DisclosureSolution
+from repro.smc.context import TwoPartyContext, make_context
+from repro.telemetry import span
+
+__all__ = [
+    "ClassificationResult",
+    "DisclosureProblem",
+    "DisclosureSolution",
+    "PipelineConfig",
+    "PrivacyAwareClassifier",
+    "ReproError",
+    "RiskMetric",
+    "SessionConfig",
+    "TradeoffAnalyzer",
+    "TradeoffPoint",
+    "TwoPartyContext",
+    "make_context",
+    "request_classification",
+    "serve_deployment",
+    "span",
+    "start_deployment_server",
+    "telemetry",
+]
+
+#: Lazily resolved exports: name -> (module, attribute). These pull in
+#: sockets/multiprocessing machinery, so they only load on first touch.
+_LAZY_EXPORTS = {
+    "ClassificationResult": ("repro.smc.transport", "ClassificationResult"),
+    "request_classification": (
+        "repro.smc.transport", "request_classification"
+    ),
+    "serve_deployment": ("repro.smc.transport", "serve_deployment"),
+    "start_deployment_server": (
+        "repro.smc.transport", "start_deployment_server"
+    ),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: resolve each lazy export once
+    return value
+
+
+def __dir__() -> list:
+    return sorted(__all__)

@@ -19,20 +19,36 @@ Commands
 ``lint``
     Run the crypto/protocol invariant linter (see
     ``docs/STATIC_ANALYSIS.md``).
+``metrics``
+    Inspect (and schema-validate) a telemetry metrics document.
 
-Every command is deterministic given ``--seed``.
+Every command takes ``--format {text,json}`` (the convention ``lint``
+introduced); ``tradeoff``, ``classify`` and ``serve`` also take
+``--metrics PATH`` to switch telemetry on and export the session's
+spans/counters as JSON (see ``docs/OBSERVABILITY.md``). Every command
+is deterministic given ``--seed``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
+import repro.telemetry as telemetry
+from repro.api import (
+    PipelineConfig,
+    PrivacyAwareClassifier,
+    SessionConfig,
+    TradeoffAnalyzer,
+)
 from repro.bench import Table
-from repro.crypto.engine import BACKENDS as ENGINE_BACKENDS
-from repro.smc.transport import TRANSPORT_BACKENDS
+from repro.cliutil import add_format_argument, add_metrics_argument, emit
+from repro.core.session import (
+    ENGINE_BACKENDS,
+    RNG_MODES,
+    TRANSPORT_BACKENDS,
+)
 from repro.data import (
     generate_adult_like,
     generate_cancer_like,
@@ -61,7 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="master seed (default 0)")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("datasets", help="describe the built-in cohorts")
+    datasets = commands.add_parser(
+        "datasets", help="describe the built-in cohorts"
+    )
+    add_format_argument(datasets)
 
     tradeoff = commands.add_parser(
         "tradeoff", help="sweep privacy budgets, print the speedup curve"
@@ -71,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--budgets", default="0,0.01,0.05,0.1,0.5,1.0",
         help="comma-separated privacy budgets",
     )
+    add_format_argument(tradeoff)
+    add_metrics_argument(tradeoff)
 
     classify = commands.add_parser(
         "classify", help="live hybrid classification demo"
@@ -86,6 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
              "the canonical codec in-process; 'tcp' ships every message "
              "over a localhost socket to a peer process (default inproc)",
     )
+    add_format_argument(classify)
+    add_metrics_argument(classify)
 
     serve = commands.add_parser(
         "serve", help="serve a saved deployment bundle over TCP"
@@ -99,16 +122,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-connections", type=int, default=None,
                        help="stop after this many connections "
                             "(default: serve forever)")
+    add_format_argument(serve)
+    add_metrics_argument(serve)
 
     attack = commands.add_parser(
         "attack", help="model-inversion escalation (Fredrikson-style)"
     )
     attack.add_argument("--victims", type=int, default=400,
                         help="number of attacked records")
+    add_format_argument(attack)
 
-    commands.add_parser(
+    calibrate = commands.add_parser(
         "calibrate", help="micro-benchmark this machine's crypto"
     )
+    add_format_argument(calibrate)
 
     lint = commands.add_parser(
         "lint", help="run the crypto/protocol invariant linter"
@@ -116,6 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    metrics = commands.add_parser(
+        "metrics", help="inspect a telemetry metrics JSON document"
+    )
+    metrics.add_argument(
+        "path", help="metrics document to read ('-' for stdin)"
+    )
+    metrics.add_argument(
+        "--check", action="store_true",
+        help="schema-validate the document; non-zero exit on problems",
+    )
+    add_format_argument(metrics)
     return parser
 
 
@@ -129,6 +168,9 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--workers", type=int, default=None,
                      help="worker processes for --engine parallel "
                           "(default: CPU count)")
+    sub.add_argument("--rng-mode", choices=RNG_MODES, default=None,
+                     help="randomness mode for the live session "
+                          "(default deterministic)")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -142,41 +184,88 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "attack": _cmd_attack,
         "calibrate": _cmd_calibrate,
         "lint": _cmd_lint,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
+
+
+# -- telemetry plumbing shared by the session commands -----------------------
+
+
+def _begin_metrics(args: argparse.Namespace) -> bool:
+    """Enable telemetry for this invocation when ``--metrics`` was given."""
+    if getattr(args, "metrics", None) is None:
+        return False
+    telemetry.configure(True, reset=True)
+    return True
+
+
+def _finish_metrics(args: argparse.Namespace) -> None:
+    """Export the telemetry snapshot to the ``--metrics`` destination."""
+    telemetry.write_metrics(args.metrics, telemetry.snapshot())
 
 
 # -- command implementations ------------------------------------------------
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
+    entries = []
     for name, generator in sorted(DATASETS.items()):
         dataset = generator(seed=args.seed)
-        print(dataset.describe())
-        print()
+        entries.append({
+            "name": name,
+            "samples": dataset.n_samples,
+            "features": dataset.n_features,
+            "description": dataset.describe(),
+        })
+    text = "\n\n".join(entry["description"] for entry in entries)
+    emit(args.format, text=text, payload={"datasets": entries})
     return 0
 
 
 def _fitted_pipeline(args: argparse.Namespace) -> tuple:
     dataset = DATASETS[args.dataset](seed=args.seed)
     train, test = train_test_split(dataset, seed=args.seed)
+    session = SessionConfig.from_args(
+        args, paillier_bits=384, dgk_bits=192, seed=args.seed
+    )
     pipeline = PrivacyAwareClassifier(
         PipelineConfig(
             classifier=args.classifier, paillier_bits=384, dgk_bits=192,
-            engine_backend=getattr(args, "engine", "serial"),
-            engine_workers=getattr(args, "workers", None),
+            engine_backend=session.engine_backend,
+            engine_workers=session.engine_workers,
             seed=args.seed,
+            session=session,
         )
     ).fit(train)
     return pipeline, train, test
 
 
 def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    _begin_metrics(args)
     pipeline, _, _ = _fitted_pipeline(args)
     budgets = [float(b) for b in args.budgets.split(",") if b.strip()]
     points = TradeoffAnalyzer(pipeline).sweep(budgets)
-    print(f"dataset={args.dataset} classifier={args.classifier}")
-    print(TradeoffAnalyzer.format_table(points))
+    header = f"dataset={args.dataset} classifier={args.classifier}"
+    text = header + "\n" + TradeoffAnalyzer.format_table(points)
+    payload = {
+        "dataset": args.dataset,
+        "classifier": args.classifier,
+        "points": [
+            {
+                "risk_budget": p.risk_budget,
+                "achieved_risk": p.achieved_risk,
+                "disclosed_count": p.disclosed_count,
+                "disclosed_names": list(p.disclosed_names),
+                "cost_seconds": p.cost_seconds,
+                "speedup": p.speedup,
+            }
+            for p in points
+        ],
+    }
+    emit(args.format, text=text, payload=payload)
+    if getattr(args, "metrics", None) is not None:
+        _finish_metrics(args)
     return 0
 
 
@@ -186,48 +275,97 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         InProcessTransport, TcpTransport, start_wire_peer,
     )
 
+    metered = _begin_metrics(args)
     pipeline, train, test = _fitted_pipeline(args)
     solution = pipeline.select_disclosure(args.budget)
     names = [train.features[i].name for i in solution.disclosed]
-    print(f"disclosure (risk {solution.risk:.4f} <= {args.budget}): "
-          f"{', '.join(names) or '(nothing)'}")
-    print(f"modeled speedup over pure SMC: {pipeline.speedup():.1f}x")
+    lines = [
+        f"disclosure (risk {solution.risk:.4f} <= {args.budget}): "
+        f"{', '.join(names) or '(nothing)'}",
+        f"modeled speedup over pure SMC: {pipeline.speedup():.1f}x",
+    ]
     ctx = pipeline.make_context(seed=args.seed + 1)
     codec = wire.codec_for_context(ctx)
     peer = None
     if args.transport == "tcp":
         peer, port = start_wire_peer()
         transport = TcpTransport(port=port, codec=codec)
-        print(f"transport: tcp (peer process on 127.0.0.1:{port})")
+        lines.append(f"transport: tcp (peer process on 127.0.0.1:{port})")
     else:
         transport = InProcessTransport(codec)
-        print("transport: inproc (canonical codec round-trip)")
+        lines.append("transport: inproc (canonical codec round-trip)")
     ctx.channel.transport = transport
     mismatches = 0
+    rows = []
+    payload = {
+        "dataset": args.dataset,
+        "classifier": args.classifier,
+        "transport": args.transport,
+        "budget": args.budget,
+        "risk": solution.risk,
+        "disclosed": names,
+        "speedup": pipeline.speedup(),
+        "rows": rows,
+    }
     try:
         for row_id, row in enumerate(test.X[: args.rows]):
             label = pipeline.classify(row, ctx=ctx)
             expected = pipeline.secure_model.predict_quantized(row)
             mismatches += label != expected
-            print(f"row {row_id}: secure={label} plaintext={expected} "
-                  f"{'OK' if label == expected else 'MISMATCH'}")
-        print(f"traffic: {ctx.trace.total_bytes} bytes over "
-              f"{ctx.trace.rounds} rounds")
+            rows.append({
+                "row": row_id,
+                "secure": int(label),
+                "plaintext": int(expected),
+                "match": bool(label == expected),
+            })
+            lines.append(
+                f"row {row_id}: secure={label} plaintext={expected} "
+                f"{'OK' if label == expected else 'MISMATCH'}"
+            )
+        lines.append(f"traffic: {ctx.trace.total_bytes} bytes over "
+                     f"{ctx.trace.rounds} rounds")
+        payload["traffic"] = {
+            "bytes": ctx.trace.total_bytes,
+            "rounds": ctx.trace.rounds,
+            "messages": ctx.trace.messages,
+        }
         measured = transport.stats.total_bytes
+        payload["measured_bytes"] = measured
         if measured != ctx.trace.total_bytes:
-            print(f"WARNING: transport measured {measured} bytes; "
-                  f"accounting disagrees")
+            lines.append(f"WARNING: transport measured {measured} bytes; "
+                         f"accounting disagrees")
             mismatches += 1
         elif args.transport == "tcp":
             peer_counts = transport.peer_stats()
-            print(f"measured on the socket: {measured} bytes "
-                  f"({transport.stats.frames} frames; peer saw "
-                  f"{peer_counts['bytes_received']} bytes) -- matches "
-                  f"the trace exactly")
+            payload["peer_bytes_received"] = peer_counts["bytes_received"]
+            lines.append(
+                f"measured on the socket: {measured} bytes "
+                f"({transport.stats.frames} frames; peer saw "
+                f"{peer_counts['bytes_received']} bytes) -- matches "
+                f"the trace exactly"
+            )
+        if metered:
+            telemetry_bytes = telemetry.wire_bytes_total(telemetry.snapshot())
+            payload["telemetry_wire_bytes"] = telemetry_bytes
+            if telemetry_bytes != ctx.trace.total_bytes:
+                lines.append(
+                    f"WARNING: telemetry attributed {telemetry_bytes} wire "
+                    f"bytes; trace accounted {ctx.trace.total_bytes}"
+                )
+                mismatches += 1
+            else:
+                lines.append(
+                    f"telemetry wire bytes reconcile with the trace: "
+                    f"{telemetry_bytes} bytes"
+                )
     finally:
         if peer is not None:
             transport.close(shutdown_peer=True)
             peer.join(timeout=10)
+    payload["mismatches"] = mismatches
+    emit(args.format, text="\n".join(lines), payload=payload)
+    if metered:
+        _finish_metrics(args)
     return 1 if mismatches else 0
 
 
@@ -236,16 +374,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.serialization import load_deployment
 
+    metered = _begin_metrics(args)
     deployed = load_deployment(args.bundle)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((args.host, args.port))
     listener.listen(4)
     host, port = listener.getsockname()
-    print(f"serving {args.bundle} ({deployed.kind}) on {host}:{port}",
-          flush=True)
+    emit(
+        args.format,
+        text=f"serving {args.bundle} ({deployed.kind}) on {host}:{port}",
+        payload={
+            "bundle": args.bundle,
+            "kind": deployed.kind,
+            "host": host,
+            "port": port,
+        },
+    )
+    sys.stdout.flush()
     with listener:
         deployed.serve(listener, max_connections=args.max_connections)
+    if metered:
+        _finish_metrics(args)
     return 0
 
 
@@ -268,6 +418,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     ]
     table = Table("Model-inversion escalation",
                   ["target", "knowledge", "accuracy", "advantage"])
+    records = []
     for target_name in ("vkorc1", "cyp2c9"):
         target = augmented.feature_index(target_name)
         reports = attack.escalation_curve(
@@ -278,7 +429,13 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         ):
             table.add_row([target_name, stage, report.attack_accuracy,
                            report.advantage])
-    table.print()
+            records.append({
+                "target": target_name,
+                "knowledge": stage,
+                "accuracy": report.attack_accuracy,
+                "advantage": report.advantage,
+            })
+    emit(args.format, text=table.render(), payload={"escalation": records})
     return 0
 
 
@@ -294,10 +451,35 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     profile = calibrate_hardware_profile()
     table = Table(f"Calibrated profile: {profile.name}",
                   ["operation", "seconds"])
+    op_seconds = {}
     for op, seconds in sorted(profile.op_seconds.items(),
                               key=lambda kv: kv[0].value):
         table.add_row([op.value, seconds])
-    table.print()
+        op_seconds[op.value] = seconds
+    emit(
+        args.format,
+        text=table.render(),
+        payload={"profile": profile.name, "op_seconds": op_seconds},
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    document = telemetry.load_metrics(args.path)
+    problems = telemetry.validate_metrics(document)
+    if args.check:
+        for problem in problems:
+            print(f"invalid metrics document: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    if args.format == "json":
+        emit("json", text="", payload=document)
+    else:
+        text = telemetry.render_text(document)
+        total = telemetry.wire_bytes_total(document)
+        if total:
+            text += f"\nwire bytes total: {total}"
+        emit("text", text=text, payload=document)
     return 0
 
 

@@ -1,0 +1,59 @@
+"""Shared CLI conventions: ``--format {text,json}`` and report emission.
+
+Every ``python -m repro`` subcommand offers the same two report formats
+(matching the convention ``lint`` introduced): human-oriented text by
+default, or a machine-readable JSON document with ``--format json``.
+This module owns the argument definition and the single emission path so
+the subcommands cannot drift apart.
+
+Deliberately stdlib-only and import-light: both :mod:`repro.cli` and
+:mod:`repro.analysis.cli` use it, so it must not import either.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, TextIO
+
+FORMATS = ("text", "json")
+
+
+def add_format_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--format`` option to a subcommand parser."""
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text",
+        help="report format (default text)",
+    )
+
+
+def add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--metrics`` option to a subcommand parser."""
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="enable telemetry and write the metrics snapshot (spans, "
+             "counters, histograms) as JSON to PATH ('-' for stdout)",
+    )
+
+
+def emit(
+    fmt: str,
+    *,
+    text: str,
+    payload: Any,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Write one report in the requested format.
+
+    ``text`` is the human rendering; ``payload`` is the JSON-able
+    document behind it. Exactly one of them is emitted.
+    """
+    out = stream if stream is not None else sys.stdout
+    if fmt == "json":
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(text)
+        if not text.endswith("\n"):
+            out.write("\n")

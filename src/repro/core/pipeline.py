@@ -25,11 +25,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.classifiers.decision_tree import DecisionTreeClassifier
 from repro.crypto.engine import BACKENDS as ENGINE_BACKENDS
 from repro.classifiers.linear import LogisticRegressionClassifier
 from repro.classifiers.naive_bayes import NaiveBayesClassifier
 from repro.core.exceptions import ReproError
+from repro.core.session import SessionConfig
 from repro.data.schema import Dataset
 from repro.privacy.adversary import NaiveBayesAdversary
 from repro.privacy.incremental import IncrementalRiskEvaluator
@@ -96,6 +98,12 @@ class PipelineConfig:
         ciphertexts and traces are identical.
     seed:
         Master seed for sampling and key generation.
+    session:
+        Optional :class:`repro.core.session.SessionConfig` governing the
+        live crypto session wholesale. When given it takes precedence
+        over the per-parameter ``paillier_bits`` / ``dgk_bits`` /
+        ``engine_backend`` / ``seed`` fields above for context creation
+        (those remain in force for the analytic cost model's sizes).
     """
 
     classifier: str = "naive_bayes"
@@ -117,6 +125,7 @@ class PipelineConfig:
     tree_max_depth: int = 6
     linear_iterations: int = 300
     seed: int = 0
+    session: Optional[SessionConfig] = None
 
     def __post_init__(self) -> None:
         if self.classifier not in CLASSIFIER_KINDS:
@@ -134,6 +143,23 @@ class PipelineConfig:
                 f"unknown engine backend {self.engine_backend!r}; "
                 f"expected one of {ENGINE_BACKENDS}"
             )
+
+    def session_config(self) -> SessionConfig:
+        """The session configuration for live crypto contexts.
+
+        The explicit ``session`` field wins; otherwise one is assembled
+        from the pipeline's per-parameter key-size/engine/seed fields.
+        """
+        if self.session is not None:
+            return self.session
+        return SessionConfig(
+            seed=self.seed,
+            paillier_bits=self.paillier_bits,
+            dgk_bits=self.dgk_bits,
+            dgk_plaintext_bits=self.dgk_plaintext_bits,
+            engine_backend=self.engine_backend,
+            engine_workers=self.engine_workers,
+        )
 
 
 class PrivacyAwareClassifier:
@@ -295,15 +321,10 @@ class PrivacyAwareClassifier:
 
     def make_context(self, seed: Optional[int] = None) -> TwoPartyContext:
         """Create a live two-party crypto session (keys generated)."""
-        config = self.config
-        return make_context(
-            seed=config.seed if seed is None else seed,
-            paillier_bits=config.paillier_bits,
-            dgk_bits=config.dgk_bits,
-            dgk_plaintext_bits=config.dgk_plaintext_bits,
-            engine_backend=config.engine_backend,
-            engine_workers=config.engine_workers,
-        )
+        session = self.config.session_config()
+        if seed is not None:
+            session = session.with_overrides(seed=seed)
+        return make_context(config=session)
 
     def classify(
         self,
@@ -324,7 +345,14 @@ class PrivacyAwareClassifier:
             if self._context is None:
                 self._context = self.make_context()
             ctx = self._context
-        return secure.classify(ctx, np.asarray(row), disclosure_set)
+        if not telemetry.enabled():
+            return secure.classify(ctx, np.asarray(row), disclosure_set)
+        with telemetry.span(
+            "pipeline.classify", classifier=self.config.classifier
+        ) as span:
+            label = secure.classify(ctx, np.asarray(row), disclosure_set)
+            span.set("label", int(label))
+            return label
 
     def classify_batch(
         self,

@@ -1,0 +1,140 @@
+"""Session configuration: one object for a whole two-party session.
+
+Key sizes, engine backend, transport policy, randomness mode and the
+telemetry switch used to be scattered keyword arguments across
+:func:`repro.smc.context.make_context`, :class:`repro.core.pipeline
+.PipelineConfig` and the CLI. :class:`SessionConfig` consolidates them
+into a single validated dataclass accepted everywhere a session is
+built; the old keyword arguments keep working through a deprecation
+shim that warns once per process.
+
+This module is deliberately light: it imports no sockets, no process
+pools, no numpy -- the :mod:`repro.api` facade re-exports it without
+dragging the heavy runtime in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.exceptions import ReproError
+
+#: Engine backends, mirrored from :data:`repro.crypto.engine.BACKENDS`
+#: (kept literal here so this module stays import-light; a unit test
+#: asserts the two stay in sync).
+ENGINE_BACKENDS = ("serial", "parallel")
+
+#: Transport backends, mirrored from
+#: :data:`repro.smc.transport.TRANSPORT_BACKENDS` (same sync test).
+TRANSPORT_BACKENDS = ("inproc", "tcp")
+
+RNG_MODES = ("deterministic", "system")
+
+DEFAULT_STATISTICAL_SECURITY_BITS = 40
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to stand up one client/server crypto session.
+
+    Attributes
+    ----------
+    seed:
+        Master seed deriving key material and both parties' randomness
+        streams (``rng_mode="deterministic"``).
+    paillier_bits / dgk_bits / dgk_plaintext_bits:
+        Key sizes for the additively homomorphic and comparison
+        cryptosystems.
+    statistical_security_bits:
+        Width of the additive blinding margin (``kappa``).
+    engine_backend / engine_workers:
+        Batch crypto execution backend (``"serial"`` or ``"parallel"``)
+        and its process count (``None`` = CPU count).
+    transport_backend:
+        Wire backend for live protocol runs: ``"inproc"`` round-trips
+        every message through the canonical codec in-process, ``"tcp"``
+        ships each message over a localhost socket to a peer process.
+    connect_timeout / io_timeout / transport_retries / backoff_seconds:
+        Socket transport policy (see
+        :class:`repro.smc.transport.TransportConfig`).
+    rng_mode:
+        ``"deterministic"`` (seeded, reproducible transcripts) or
+        ``"system"`` (OS entropy; suitable for real key material, not
+        reproducible).
+    telemetry:
+        Whether spans/counters should be recorded for this session.
+        The CLI flips this on for ``--metrics``; library users call
+        :func:`repro.telemetry.configure` themselves.
+    """
+
+    seed: int = 0
+    paillier_bits: int = 512
+    dgk_bits: int = 256
+    dgk_plaintext_bits: int = 16
+    statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS
+    engine_backend: str = "serial"
+    engine_workers: Optional[int] = None
+    transport_backend: str = "inproc"
+    connect_timeout: float = 5.0
+    io_timeout: float = 30.0
+    transport_retries: int = 3
+    backoff_seconds: float = 0.05
+    rng_mode: str = "deterministic"
+    telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine_backend not in ENGINE_BACKENDS:
+            raise ReproError(
+                f"unknown engine backend {self.engine_backend!r}; "
+                f"expected one of {ENGINE_BACKENDS}"
+            )
+        if self.transport_backend not in TRANSPORT_BACKENDS:
+            raise ReproError(
+                f"unknown transport backend {self.transport_backend!r}; "
+                f"expected one of {TRANSPORT_BACKENDS}"
+            )
+        if self.rng_mode not in RNG_MODES:
+            raise ReproError(
+                f"unknown rng mode {self.rng_mode!r}; "
+                f"expected one of {RNG_MODES}"
+            )
+        for name in ("paillier_bits", "dgk_bits", "dgk_plaintext_bits",
+                     "statistical_security_bits"):
+            if getattr(self, name) <= 0:
+                raise ReproError(f"{name} must be positive")
+        if self.engine_workers is not None and self.engine_workers < 1:
+            raise ReproError(
+                f"engine_workers must be positive, got {self.engine_workers}"
+            )
+        if self.transport_retries < 0:
+            raise ReproError("transport_retries must be non-negative")
+
+    def with_overrides(self, **overrides) -> "SessionConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def from_args(cls, args, **extra) -> "SessionConfig":
+        """Build a config from a parsed CLI namespace.
+
+        Reads whichever of ``--seed``, ``--engine``, ``--workers``,
+        ``--transport``, ``--rng-mode`` and ``--metrics`` the
+        subcommand defined; anything absent keeps its default.
+        ``extra`` overrides both.
+        """
+        values = {}
+        for field_name, arg_name in (
+            ("seed", "seed"),
+            ("engine_backend", "engine"),
+            ("engine_workers", "workers"),
+            ("transport_backend", "transport"),
+            ("rng_mode", "rng_mode"),
+        ):
+            value = getattr(args, arg_name, None)
+            if value is not None:
+                values[field_name] = value
+        if getattr(args, "metrics", None) is not None:
+            values["telemetry"] = True
+        values.update(extra)
+        return cls(**values)

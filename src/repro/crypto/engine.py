@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
+import repro.telemetry as telemetry
 from repro.crypto.numtheory import modinv
 from repro.crypto.paillier import (
     PaillierCiphertext,
@@ -92,6 +94,39 @@ def _multiexp_chunk(args: Tuple[Sequence[int], Sequence[int], int]) -> int:
     return _multiexp(bases, exponents, modulus)
 
 
+def _pow_chunk_metered(jobs: Sequence[PowJob]) -> Tuple[List[int], dict]:
+    """Like :func:`_pow_chunk`, but also returns a telemetry snapshot.
+
+    Worker processes never share the parent's registry (and may not even
+    inherit its enabled flag under ``spawn``), so metered kernels build
+    a private :class:`~repro.telemetry.MetricsRegistry`, record into it,
+    and ship the plain-dict snapshot home with the results; the parent
+    folds it in with :func:`repro.telemetry.merge_snapshot`.
+    """
+    registry = telemetry.MetricsRegistry()
+    start = time.perf_counter()
+    results = _pow_chunk(jobs)
+    registry.count("engine.worker.pow_jobs", len(jobs))
+    registry.observe(
+        "engine.worker.chunk_seconds", time.perf_counter() - start
+    )
+    return results, registry.snapshot()
+
+
+def _multiexp_chunk_metered(
+    args: Tuple[Sequence[int], Sequence[int], int]
+) -> Tuple[int, dict]:
+    """Metered variant of :func:`_multiexp_chunk` (see above)."""
+    registry = telemetry.MetricsRegistry()
+    start = time.perf_counter()
+    result = _multiexp_chunk(args)
+    registry.count("engine.worker.multiexp_bases", len(args[0]))
+    registry.observe(
+        "engine.worker.chunk_seconds", time.perf_counter() - start
+    )
+    return result, registry.snapshot()
+
+
 def _split_chunks(items: Sequence, pieces: int) -> List[Sequence]:
     """Split ``items`` into at most ``pieces`` contiguous, near-equal
     chunks (order preserved; no empty chunks)."""
@@ -118,11 +153,17 @@ class SerialBackend:
 
     def map_pow(self, jobs: Sequence[PowJob]) -> List[int]:
         """Evaluate independent modular exponentiations, in order."""
+        if telemetry.enabled():
+            telemetry.count("engine.pow_jobs", len(jobs))
+            telemetry.count("engine.inline_chunks")
         return _pow_chunk(jobs)
 
     def multiexp(self, bases: Sequence[int], exponents: Sequence[int],
                  modulus: int) -> int:
         """One fused multi-exponentiation."""
+        if telemetry.enabled():
+            telemetry.count("engine.multiexp_calls")
+            telemetry.count("engine.multiexp_bases", len(bases))
         return _multiexp(bases, exponents, modulus)
 
     def close(self) -> None:
@@ -160,12 +201,33 @@ class ProcessPoolBackend:
 
     def map_pow(self, jobs: Sequence[PowJob]) -> List[int]:
         """Evaluate independent modular exponentiations, in order,
-        fanned out across the pool."""
+        fanned out across the pool.
+
+        While telemetry is enabled the metered kernel variant runs in
+        the workers; each chunk's private snapshot travels back with its
+        results and is merged into the parent registry.
+        """
+        metered = telemetry.enabled()
+        if metered:
+            telemetry.count("engine.pow_jobs", len(jobs))
         if self.workers == 1 or len(jobs) < self.min_batch:
+            if metered:
+                telemetry.count("engine.inline_chunks")
             return _pow_chunk(jobs)
         chunks = _split_chunks(list(jobs), self.workers)
-        futures = [self._pool().submit(_pow_chunk, chunk) for chunk in chunks]
         results: List[int] = []
+        if metered:
+            telemetry.count("engine.pool_dispatches")
+            futures = [
+                self._pool().submit(_pow_chunk_metered, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                chunk_results, snap = future.result()
+                results.extend(chunk_results)
+                telemetry.merge_snapshot(snap)
+            return results
+        futures = [self._pool().submit(_pow_chunk, chunk) for chunk in chunks]
         for future in futures:
             results.extend(future.result())
         return results
@@ -175,10 +237,26 @@ class ProcessPoolBackend:
         """Fused multi-exponentiation; each worker multi-exponentiates a
         slice of the bases and the partial products are combined (the
         group is commutative, so chunking never changes the result)."""
+        metered = telemetry.enabled()
+        if metered:
+            telemetry.count("engine.multiexp_calls")
+            telemetry.count("engine.multiexp_bases", len(bases))
         if self.workers == 1 or len(bases) < self.min_batch:
             return _multiexp(bases, exponents, modulus)
         base_chunks = _split_chunks(list(bases), self.workers)
         exp_chunks = _split_chunks(list(exponents), self.workers)
+        if metered:
+            telemetry.count("engine.pool_dispatches")
+            metered_futures = [
+                self._pool().submit(_multiexp_chunk_metered, (b, e, modulus))
+                for b, e in zip(base_chunks, exp_chunks)
+            ]
+            accumulator = 1
+            for future in metered_futures:
+                partial, snap = future.result()
+                accumulator = accumulator * partial % modulus
+                telemetry.merge_snapshot(snap)
+            return accumulator
         futures = [
             self._pool().submit(_multiexp_chunk, (b, e, modulus))
             for b, e in zip(base_chunks, exp_chunks)

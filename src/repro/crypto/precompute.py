@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 from typing import List, Optional
 
+import repro.telemetry as telemetry
 from repro.crypto.paillier import PaillierCiphertext, PaillierPublicKey
 from repro.crypto.rand import DeterministicRandom, default_rng
 
@@ -83,6 +84,7 @@ class PrecomputedEncryptionPool:
         """Offline phase: precompute ``count`` more blinding factors."""
         if count < 0:
             raise ValueError(f"refill count must be non-negative, got {count}")
+        telemetry.count("precompute.refilled", count)
         n = self.public_key.n
         n_squared = self.public_key.n_squared
         for _ in range(count):
@@ -105,6 +107,7 @@ class PrecomputedEncryptionPool:
         """
         with self._lock:
             if not self._factors:
+                telemetry.count("precompute.misses")
                 raise PoolExhaustedError(
                     f"precomputed encryption pool exhausted: 0 of "
                     f"{self._total_precomputed} precomputed factors remain; "
@@ -112,6 +115,7 @@ class PrecomputedEncryptionPool:
                     f"encrypt_fallback() to pay the full exponentiation"
                 )
             factor = self._factors.pop()
+            telemetry.count("precompute.hits")
             low = (
                 self._low_water > 0
                 and len(self._factors) < self._low_water
@@ -126,6 +130,7 @@ class PrecomputedEncryptionPool:
 
     def encrypt_fallback(self, value: int) -> PaillierCiphertext:
         """Full-cost encryption when the pool is dry (explicit opt-in)."""
+        telemetry.count("precompute.fallbacks")
         with self._lock:
             rng = self._rng
         return self.public_key.encrypt(value, rng=rng)

@@ -81,7 +81,7 @@ class SecureRandomForestClassifier(SecureClassifier):
 
     # -- live protocol -----------------------------------------------------
 
-    @protocol_entry
+    @protocol_entry(span="classify.forest")
     def classify(
         self,
         ctx: TwoPartyContext,

@@ -114,7 +114,7 @@ class SecureLinearClassifier(SecureClassifier):
 
     # -- live protocol ------------------------------------------------------
 
-    @protocol_entry
+    @protocol_entry(span="classify.linear")
     def classify(
         self,
         ctx: TwoPartyContext,

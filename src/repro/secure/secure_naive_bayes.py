@@ -100,7 +100,7 @@ class SecureNaiveBayesClassifier(SecureClassifier):
 
     # -- live protocol --------------------------------------------------------
 
-    @protocol_entry
+    @protocol_entry(span="classify.naive_bayes")
     def classify(
         self,
         ctx: TwoPartyContext,

@@ -105,7 +105,7 @@ class SecureRegression(SecureClassifier):
         """Run the live protocol; the client learns the dose."""
         return self.encoder.decode(self._secure_score(ctx, row, disclosure_set))
 
-    @protocol_entry
+    @protocol_entry(span="classify.regression_score")
     def _secure_score(
         self, ctx: TwoPartyContext, row: np.ndarray, disclosure_set
     ) -> int:

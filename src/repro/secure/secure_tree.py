@@ -142,7 +142,7 @@ class SecureDecisionTreeClassifier(SecureClassifier):
 
     # -- live protocol -------------------------------------------------------------
 
-    @protocol_entry
+    @protocol_entry(span="classify.tree")
     def classify(
         self,
         ctx: TwoPartyContext,

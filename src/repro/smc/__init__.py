@@ -30,14 +30,31 @@ This package is the SMC substrate the secure classifiers run on:
 
 from repro.smc.network import Channel, NetworkModel, NetworkProfile
 from repro.smc.protocol import ExecutionTrace, Op
-from repro.smc.transport import (
-    InProcessTransport,
-    TcpTransport,
-    TransportConfig,
-    TransportError,
-    make_transport,
-)
 from repro.smc.wire import WireCodec, WireError
+
+#: Transport names are re-exported lazily (PEP 562): the transport
+#: module carries the socket/multiprocessing machinery, and importing
+#: :mod:`repro.smc` (e.g. via the pipeline or the repro.api facade)
+#: must not drag it in.
+_TRANSPORT_EXPORTS = frozenset({
+    "InProcessTransport",
+    "TcpTransport",
+    "TransportConfig",
+    "TransportError",
+    "make_transport",
+})
+
+
+def __getattr__(name: str):
+    if name in _TRANSPORT_EXPORTS:
+        import importlib
+
+        value = getattr(
+            importlib.import_module("repro.smc.transport"), name
+        )
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Channel",

@@ -37,7 +37,7 @@ class ArgmaxError(Exception):
 _OT_INDEX_BYTES = 4
 
 
-@protocol_entry
+@protocol_entry(span="argmax.secure")
 def secure_argmax(
     ctx: TwoPartyContext,
     encrypted_values: Sequence[PaillierCiphertext],

@@ -54,7 +54,7 @@ def _bits_lsb_first(value: int, width: int) -> List[int]:
     return [(value >> i) & 1 for i in range(width)]
 
 
-@protocol_entry
+@protocol_entry(span="dgk.compare")
 def dgk_compare(
     ctx: TwoPartyContext, client_value: int, server_value: int, bit_length: int
 ) -> SharedBit:
@@ -143,7 +143,7 @@ def dgk_compare(
     return SharedBit(client_share=int(found_zero), server_share=server_share)
 
 
-@protocol_entry
+@protocol_entry(span="dgk.encrypted_z_bit")
 def _encrypted_z_bit(
     ctx: TwoPartyContext, z_encrypted: PaillierCiphertext, bit_length: int
 ) -> Tuple[int, int, SharedBit, int]:
@@ -176,7 +176,7 @@ def _encrypted_z_bit(
     return d_high, r_high, borrow, noise
 
 
-@protocol_entry
+@protocol_entry(span="compare.encrypted")
 def compare_encrypted(
     ctx: TwoPartyContext, z_encrypted: PaillierCiphertext, bit_length: int
 ) -> PaillierCiphertext:
@@ -207,7 +207,7 @@ def compare_encrypted(
     return d_high_enc - r_high - borrow_enc
 
 
-@protocol_entry
+@protocol_entry(span="compare.encrypted_client_learns")
 def compare_encrypted_client_learns(
     ctx: TwoPartyContext, z_encrypted: PaillierCiphertext, bit_length: int
 ) -> int:
@@ -232,7 +232,7 @@ def compare_encrypted_client_learns(
     return bit
 
 
-@protocol_entry
+@protocol_entry(span="dgk.compare_many")
 def dgk_compare_many(
     ctx: TwoPartyContext,
     pairs: Sequence[Tuple[int, int]],
@@ -321,7 +321,7 @@ def dgk_compare_many(
     return results
 
 
-@protocol_entry
+@protocol_entry(span="compare.encrypted_many")
 def compare_encrypted_many(
     ctx: TwoPartyContext,
     z_encrypted: Sequence[PaillierCiphertext],
@@ -382,7 +382,7 @@ def compare_encrypted_many(
     return results
 
 
-@protocol_entry
+@protocol_entry(span="compare.values_encrypted")
 def compare_values_encrypted(
     ctx: TwoPartyContext,
     a_encrypted: PaillierCiphertext,
@@ -396,7 +396,7 @@ def compare_values_encrypted(
     return compare_encrypted(ctx, z, bit_length)
 
 
-@protocol_entry
+@protocol_entry(span="compare.sign_test")
 def sign_test_client_learns(
     ctx: TwoPartyContext,
     score_encrypted: PaillierCiphertext,

@@ -13,13 +13,16 @@ single :class:`~repro.smc.protocol.ExecutionTrace`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import repro.telemetry as telemetry
+from repro.core.session import SessionConfig
 from repro.crypto.dgk import DgkKeyPair
 from repro.crypto.engine import CryptoEngine, make_engine
 from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
-from repro.crypto.rand import DeterministicRandom, fresh_rng
+from repro.crypto.rand import DeterministicRandom, fresh_rng, secure_rng
 from repro.smc.network import Channel
 from repro.smc.protocol import ExecutionTrace, Op
 
@@ -157,37 +160,96 @@ class TwoPartyContext:
         )
 
 
+#: One-time flag for the legacy-kwargs deprecation warning, so a script
+#: that calls :func:`make_context` in a loop is not drowned in noise.
+_legacy_kwargs_warned = False
+
 def make_context(
-    seed: int = 0,
-    paillier_bits: int = 512,
-    dgk_bits: int = 256,
-    dgk_plaintext_bits: int = 16,
-    statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS,
+    seed: Optional[int] = None,
+    paillier_bits: Optional[int] = None,
+    dgk_bits: Optional[int] = None,
+    dgk_plaintext_bits: Optional[int] = None,
+    statistical_security_bits: Optional[int] = None,
     channel: Optional[Channel] = None,
     engine: Optional[CryptoEngine] = None,
-    engine_backend: str = "serial",
+    engine_backend: Optional[str] = None,
     engine_workers: Optional[int] = None,
+    config: Optional[SessionConfig] = None,
 ) -> TwoPartyContext:
     """Build a ready-to-use session context with freshly generated keys.
 
-    The single ``seed`` deterministically derives the key material and
-    both parties' randomness streams, so a whole protocol transcript is
-    reproducible from one integer. The engine backend only changes *how*
-    batch work executes, never the transcript: ``engine_backend=
-    "parallel"`` (optionally with ``engine_workers``) produces the same
-    ciphertexts and trace as the serial default.
+    The preferred interface is ``make_context(config=SessionConfig(...))``
+    (optionally with ``seed=``, ``channel=`` or a prebuilt ``engine=``,
+    which stay first-class). The scattered per-parameter keywords
+    (``paillier_bits``, ``engine_backend``, ...) are deprecated in
+    favour of :class:`repro.core.session.SessionConfig`; they keep
+    working -- overriding the config when both are given -- but emit one
+    :class:`DeprecationWarning` per process.
+
+    Under ``rng_mode="deterministic"`` the single seed derives the key
+    material and both parties' randomness streams, so a whole protocol
+    transcript is reproducible from one integer; ``rng_mode="system"``
+    draws everything from OS entropy instead. The engine backend only
+    changes *how* batch work executes, never the transcript:
+    ``engine_backend="parallel"`` produces the same ciphertexts and
+    trace as the serial default.
+
+    When ``config.telemetry`` is set, telemetry recording is switched on
+    for the process before key generation, so the session is observable
+    from its first operation.
     """
-    master = fresh_rng(seed)
-    paillier = PaillierKeyPair.generate(key_bits=paillier_bits, rng=master)
-    dgk = DgkKeyPair.generate(
-        key_bits=dgk_bits, plaintext_bits=dgk_plaintext_bits, rng=master
-    )
+    global _legacy_kwargs_warned
+    cfg = config if config is not None else SessionConfig()
+    passed = {
+        "paillier_bits": paillier_bits,
+        "dgk_bits": dgk_bits,
+        "dgk_plaintext_bits": dgk_plaintext_bits,
+        "statistical_security_bits": statistical_security_bits,
+        "engine_backend": engine_backend,
+        "engine_workers": engine_workers,
+    }
+    legacy = {name: value for name, value in passed.items() if value is not None}
+    if legacy:
+        if not _legacy_kwargs_warned:
+            warnings.warn(
+                "passing "
+                + ", ".join(sorted(legacy))
+                + " to make_context() directly is deprecated; build a "
+                "repro.core.session.SessionConfig and pass it as "
+                "make_context(config=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _legacy_kwargs_warned = True
+        cfg = cfg.with_overrides(**legacy)
+    if seed is not None:
+        cfg = cfg.with_overrides(seed=seed)
+    if cfg.telemetry and not telemetry.enabled():
+        telemetry.configure(True)
+    if cfg.rng_mode == "system":
+        master = secure_rng()
+    else:
+        master = fresh_rng(cfg.seed)
+    with telemetry.span(
+        "session.keygen",
+        paillier_bits=cfg.paillier_bits,
+        dgk_bits=cfg.dgk_bits,
+    ):
+        paillier = PaillierKeyPair.generate(
+            key_bits=cfg.paillier_bits, rng=master
+        )
+        dgk = DgkKeyPair.generate(
+            key_bits=cfg.dgk_bits,
+            plaintext_bits=cfg.dgk_plaintext_bits,
+            rng=master,
+        )
     return TwoPartyContext(
         channel=channel or Channel(),
         paillier=paillier,
         dgk=dgk,
         client_rng=master.fork(),
         server_rng=master.fork(),
-        statistical_security_bits=statistical_security_bits,
-        engine=engine or make_engine(engine_backend, workers=engine_workers),
+        statistical_security_bits=cfg.statistical_security_bits,
+        engine=engine
+        or make_engine(cfg.engine_backend, workers=cfg.engine_workers),
     )

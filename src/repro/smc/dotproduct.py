@@ -25,7 +25,7 @@ class DotProductError(Exception):
     """Raised on shape mismatches in the encrypted dot product."""
 
 
-@protocol_entry
+@protocol_entry(span="dotproduct.encrypt_features")
 def encrypt_feature_vector(
     ctx: TwoPartyContext, values: Sequence[int]
 ) -> List[PaillierCiphertext]:

@@ -32,7 +32,7 @@ class LookupError_(Exception):
     """Raised on invalid lookup inputs (domain mismatch, bad index)."""
 
 
-@protocol_entry
+@protocol_entry(span="lookup.encrypt_indicator_vector")
 def encrypt_indicator_vector(
     ctx: TwoPartyContext, value_index: int, domain_size: int
 ) -> List[PaillierCiphertext]:
@@ -71,7 +71,7 @@ def indicator_lookup(
     return ctx.engine.dot_product(encrypted_indicators, table_column)
 
 
-@protocol_entry
+@protocol_entry(span="lookup.ot_shares")
 def ot_lookup_shares(
     ctx: TwoPartyContext,
     table: Sequence[int],

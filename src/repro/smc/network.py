@@ -27,6 +27,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+import repro.telemetry as telemetry
 from repro.smc import wire
 from repro.smc.protocol import ExecutionTrace
 
@@ -87,18 +88,22 @@ class Channel:
     _last_direction: Optional[Direction] = None
 
     def send(self, direction: Direction, payload: Any) -> Any:
-        """Record a message and hand the payload to the other party."""
-        size = FRAME_OVERHEAD + wire_size(payload)
-        if direction is Direction.CLIENT_TO_SERVER:
-            self.trace.bytes_client_to_server += size
-        elif direction is Direction.SERVER_TO_CLIENT:
-            self.trace.bytes_server_to_client += size
-        else:  # pragma: no cover - enum exhausts the cases
+        """Record a message and hand the payload to the other party.
+
+        Delivery happens *before* accounting: a transport failure (or a
+        codec/accounting disagreement) must leave the trace unchanged,
+        so the trace never claims bytes for frames that did not cross
+        the wire. Telemetry is charged from the same ``size`` value as
+        the trace, which is what keeps the two views reconciled.
+        """
+        if direction not in (
+            Direction.CLIENT_TO_SERVER, Direction.SERVER_TO_CLIENT
+        ):  # pragma: no cover - enum exhausts the cases
             raise ChannelError(f"unknown direction {direction!r}")
-        self.trace.messages += 1
-        if direction is not self._last_direction:
-            self.trace.rounds += 1
-            self._last_direction = direction
+        size = FRAME_OVERHEAD + wire_size(payload)
+        tag = None
+        if telemetry.enabled():
+            tag = wire.payload_tag_name(payload)
         if self.transport is not None:
             payload = self.transport.exchange(direction, payload)
             measured = self.transport.last_frame_bytes
@@ -108,6 +113,22 @@ class Channel:
                     f"trace accounted {size}; codec and accounting "
                     f"disagree"
                 )
+        if direction is Direction.CLIENT_TO_SERVER:
+            self.trace.bytes_client_to_server += size
+        else:
+            self.trace.bytes_server_to_client += size
+        self.trace.messages += 1
+        if direction is not self._last_direction:
+            self.trace.rounds += 1
+            self._last_direction = direction
+        if telemetry.enabled():
+            telemetry.record_wire(
+                "client_to_server"
+                if direction is Direction.CLIENT_TO_SERVER
+                else "server_to_client",
+                size,
+                tag,
+            )
         return payload
 
     def client_sends(self, payload: Any) -> Any:

@@ -16,10 +16,13 @@ production timings from the *same* execution.
 from __future__ import annotations
 
 import enum
+import functools
 import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional, TypeVar
+
+import repro.telemetry as telemetry
 
 _F = TypeVar("_F", bound=Callable)
 
@@ -29,7 +32,7 @@ _F = TypeVar("_F", bound=Callable)
 PROTOCOL_ENTRY_POINTS: Dict[str, Callable] = {}
 
 
-def protocol_entry(func: _F) -> _F:
+def protocol_entry(func: Optional[_F] = None, *, span: Optional[str] = None):
     """Mark ``func`` as a protocol entry point.
 
     Entry points own a fresh protocol *phase*: their first channel
@@ -40,13 +43,37 @@ def protocol_entry(func: _F) -> _F:
     rule of :mod:`repro.analysis` (functions that only delegate to
     other entry points pass trivially -- the callee resets).
 
-    The decorator is metadata-only at runtime: it tags the function and
-    registers it in :data:`PROTOCOL_ENTRY_POINTS`, adding zero overhead
-    on the hot path.
+    Entry points are also the telemetry span boundary: every invocation
+    runs under a span named ``span`` (the ``telemetry-span`` lint rule
+    requires the name to be declared explicitly inside the protocol
+    packages, so the span taxonomy in ``docs/OBSERVABILITY.md`` is the
+    single source of truth). While telemetry is disabled the wrapper
+    costs one flag check per call -- the hot path stays flat.
+
+    Usable bare (``@protocol_entry``; span name derived from the
+    function name) or called (``@protocol_entry(span="dgk.compare")``).
     """
-    func.__protocol_entry__ = True
-    PROTOCOL_ENTRY_POINTS[f"{func.__module__}.{func.__qualname__}"] = func
-    return func
+
+    def decorate(target: _F) -> _F:
+        span_name = span or f"smc.{target.__name__.lstrip('_')}"
+
+        @functools.wraps(target)
+        def wrapper(*args, **kwargs):
+            if not telemetry.enabled():
+                return target(*args, **kwargs)
+            with telemetry.span(span_name):
+                return target(*args, **kwargs)
+
+        wrapper.__protocol_entry__ = True
+        wrapper.__protocol_span__ = span_name
+        PROTOCOL_ENTRY_POINTS[
+            f"{target.__module__}.{target.__qualname__}"
+        ] = wrapper
+        return wrapper  # type: ignore[return-value]
+
+    if func is not None:
+        return decorate(func)
+    return decorate
 
 
 class Op(enum.Enum):
@@ -87,10 +114,18 @@ class ExecutionTrace:
     label: str = ""
 
     def count(self, op: Op, times: int = 1) -> None:
-        """Record ``times`` occurrences of ``op``."""
+        """Record ``times`` occurrences of ``op``.
+
+        Mirrors every occurrence into the telemetry counters
+        (``op.<name>``) while telemetry is enabled, so the metrics view
+        of cryptographic work is charged from the same call sites as the
+        cost model and cannot drift from it.
+        """
         if times < 0:
             raise ValueError(f"cannot count a negative number of ops: {times}")
         self.ops[op] += times
+        if telemetry.enabled():
+            telemetry.count(f"op.{op.value}", times)
 
     @property
     def total_bytes(self) -> int:

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import repro.telemetry as telemetry
 from repro.smc import wire
 from repro.smc.network import Direction
 
@@ -176,6 +177,7 @@ class TcpTransport:
         last_error: Optional[Exception] = None
         for attempt in range(self.config.retries + 1):
             if attempt:
+                telemetry.count("transport.connect_retries")
                 time.sleep(delay)
                 delay *= 2
             try:
@@ -224,6 +226,7 @@ class TcpTransport:
         last_error: Optional[Exception] = None
         for attempt in range(self.config.retries + 1):
             if attempt:
+                telemetry.count("transport.retries")
                 time.sleep(delay)
                 delay *= 2
             try:
@@ -242,6 +245,7 @@ class TcpTransport:
                 # Dropped connection: reconnect (fresh handshake) and
                 # resend. The exchange is a pure function of the frame,
                 # so resending is idempotent.
+                telemetry.count("transport.reconnects")
                 last_error = error
                 self._drop_sock()
                 continue
@@ -433,6 +437,7 @@ class ClassificationResult:
     label: int
     server_trace: Dict[str, float]
     client_stats: Dict[str, int] = field(default_factory=dict)
+    request_id: str = ""
 
 
 def serve_deployment(
@@ -458,6 +463,7 @@ def serve_deployment(
     """
     import numpy as np
 
+    from repro.core.session import SessionConfig
     from repro.smc.context import make_context
 
     served = 0
@@ -467,32 +473,41 @@ def serve_deployment(
         except OSError:  # pragma: no cover - listener closed under us
             return
         served += 1
+        request_id = f"req-{served:06d}"
         with sock:
             kind, body = wire.recv_frame(sock)
             if kind == wire.KIND_SHUTDOWN:
                 return
             if kind != wire.KIND_REQUEST:
                 continue
+            telemetry.count("serve.requests")
             request = wire.WireCodec().decode(body)
-            ctx = make_context(
-                seed=int(request["seed"]),
-                paillier_bits=deployed.paillier_bits,
-                dgk_bits=deployed.dgk_bits,
-            )
-            codec = wire.codec_for_context(ctx)
-            transport = TcpTransport(codec=codec, sock=sock)
-            ctx.channel.transport = transport
-            disclosure = request.get("disclosure")
-            if disclosure is not None:
-                deployed_disclosure = deployed.disclosure
-                deployed.disclosure = [int(i) for i in disclosure]
-            try:
-                label = deployed.classify(ctx, np.asarray(request["row"]))
-            finally:
+            with telemetry.span(
+                "serve.request", request_id=request_id
+            ) as request_span:
+                config = SessionConfig(
+                    seed=int(request["seed"]),
+                    paillier_bits=deployed.paillier_bits,
+                    dgk_bits=deployed.dgk_bits,
+                )
+                ctx = make_context(config=config)
+                codec = wire.codec_for_context(ctx)
+                transport = TcpTransport(codec=codec, sock=sock)
+                ctx.channel.transport = transport
+                disclosure = request.get("disclosure")
                 if disclosure is not None:
-                    deployed.disclosure = deployed_disclosure
+                    deployed_disclosure = deployed.disclosure
+                    deployed.disclosure = [int(i) for i in disclosure]
+                try:
+                    label = deployed.classify(ctx, np.asarray(request["row"]))
+                finally:
+                    if disclosure is not None:
+                        deployed.disclosure = deployed_disclosure
+                request_span.set("label", int(label))
+                request_span.set("trace_bytes", ctx.trace.total_bytes)
             result = {
                 "label": int(label),
+                "request_id": request_id,
                 "trace": ctx.trace.summary(),
                 "measured": {
                     "frames": transport.stats.frames,
@@ -623,6 +638,7 @@ def request_classification(
                     label=int(result["label"]),
                     server_trace=result["trace"],
                     client_stats=stats,
+                    request_id=str(result.get("request_id", "")),
                 )
             raise TransportError(
                 f"unexpected frame kind 0x{kind:02X} from the server"

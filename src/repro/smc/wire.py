@@ -127,6 +127,41 @@ def kind_registry() -> dict:
     }
 
 
+def payload_tag_name(payload: Any) -> str:
+    """Lower-case wire-tag name of ``payload``'s top level.
+
+    Used by telemetry's per-tag wire-byte counters
+    (``wire.bytes.tag.<name>``); payloads with no codec tag (accounted
+    but unshippable objects) report as ``"opaque"``.
+    """
+    payload = _canonical(payload)
+    if payload is None:
+        return "none"
+    if isinstance(payload, bool):
+        return "true" if payload else "false"
+    if isinstance(payload, numbers.Integral):
+        return "int"
+    if isinstance(payload, float):
+        return "float"
+    if isinstance(payload, bytes):
+        return "bytes"
+    if isinstance(payload, str):
+        return "str"
+    if isinstance(payload, PaillierCiphertext):
+        return "paillier"
+    if isinstance(payload, DgkCiphertext):
+        return "dgk"
+    if isinstance(payload, GMCiphertext):
+        return "gm"
+    if isinstance(payload, list):
+        return "list"
+    if isinstance(payload, tuple):
+        return "tuple"
+    if isinstance(payload, dict):
+        return "dict"
+    return "opaque"
+
+
 class WireError(Exception):
     """Raised on unencodable payloads or malformed wire data."""
 

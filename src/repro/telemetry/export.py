@@ -1,0 +1,169 @@
+"""Exporters and schema validation for telemetry snapshots.
+
+A snapshot (:meth:`repro.telemetry.registry.MetricsRegistry.snapshot`)
+is a plain dict; this module renders it as an indented span-tree text
+report or as JSON, validates documents read back from disk (the CI
+metrics smoke job gates on :func:`validate_metrics`), and computes the
+reconciliation totals that must match the protocol's
+:class:`~repro.smc.protocol.ExecutionTrace` byte accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.telemetry.registry import SCHEMA
+
+
+def wire_bytes_total(snapshot: Dict[str, Any]) -> int:
+    """Total wire bytes attributed to spans plus the unattributed rest.
+
+    The span-tree sum (each span's own ``wire_bytes`` attribute,
+    children included) plus the ``wire.unattributed_bytes`` counter
+    must equal the execution trace's ``total_bytes`` for the same
+    session -- both sides are charged from the same size computation in
+    :meth:`repro.smc.network.Channel.send`.
+    """
+    return span_wire_bytes(snapshot) + int(
+        snapshot.get("counters", {}).get("wire.unattributed_bytes", 0)
+    )
+
+
+def span_wire_bytes(snapshot: Dict[str, Any]) -> int:
+    """Sum of ``wire_bytes`` attributes over the whole span forest."""
+
+    def walk(span: Dict[str, Any]) -> int:
+        own = int(span.get("attributes", {}).get("wire_bytes", 0))
+        return own + sum(walk(child) for child in span.get("children", []))
+
+    return sum(walk(span) for span in snapshot.get("spans", []))
+
+
+def render_text(snapshot: Dict[str, Any]) -> str:
+    """Human-readable report: span tree, then counters, then histograms."""
+    lines: List[str] = []
+    spans = snapshot.get("spans", [])
+    if spans:
+        lines.append("spans:")
+        for span in spans:
+            _render_span(span, lines, depth=1)
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}}  {rendered}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lines.append(
+                f"  {name}  count={hist['count']:g} mean={mean:.6g} "
+                f"min={hist['min']:.6g} max={hist['max']:.6g}"
+            )
+    if not lines:
+        lines.append("(empty telemetry snapshot)")
+    return "\n".join(lines)
+
+
+def _render_span(span: Dict[str, Any], lines: List[str], depth: int) -> None:
+    indent = "  " * depth
+    attrs = span.get("attributes", {})
+    parts = [f"{indent}{span.get('name', '?')}"]
+    parts.append(f"{span.get('elapsed_seconds', 0.0) * 1e3:.3f}ms")
+    for key in sorted(attrs):
+        parts.append(f"{key}={attrs[key]}")
+    lines.append(" ".join(parts))
+    for child in span.get("children", []):
+        _render_span(child, lines, depth + 1)
+
+
+def to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """The snapshot as a JSON document (stable key order)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def write_metrics(path: str, snapshot: Dict[str, Any]) -> None:
+    """Write a snapshot as JSON to ``path`` (``-`` means stdout)."""
+    text = to_json(snapshot)
+    if path == "-":
+        sys.stdout.write(text + "\n")
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def load_metrics(path: str) -> Dict[str, Any]:
+    """Read a metrics JSON document from ``path`` (``-`` means stdin)."""
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_metrics(document: Any) -> List[str]:
+    """Structural schema check; returns a list of problems (empty = ok).
+
+    Not a JSON-Schema engine -- a hand-rolled structural validator over
+    the ``repro.telemetry/v1`` shape, strict enough for the CI smoke
+    job to catch truncated or hand-mangled exports.
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be an object, got {type(document).__name__}"]
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {schema!r}")
+    counters = document.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("counters must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"counter {name!r} must be a number")
+    histograms = document.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append("histograms must be an object")
+    else:
+        for name, hist in histograms.items():
+            if not isinstance(hist, dict):
+                errors.append(f"histogram {name!r} must be an object")
+                continue
+            for key in ("count", "sum", "min", "max"):
+                if not isinstance(hist.get(key), (int, float)) or \
+                        isinstance(hist.get(key), bool):
+                    errors.append(f"histogram {name!r} missing numeric {key!r}")
+    spans = document.get("spans")
+    if not isinstance(spans, list):
+        errors.append("spans must be an array")
+    else:
+        for index, span in enumerate(spans):
+            errors.extend(_validate_span(span, f"spans[{index}]"))
+    return errors
+
+
+def _validate_span(span: Any, where: str) -> List[str]:
+    errors: List[str] = []
+    if not isinstance(span, dict):
+        return [f"{where} must be an object"]
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        errors.append(f"{where}.name must be a non-empty string")
+    elapsed = span.get("elapsed_seconds")
+    if not isinstance(elapsed, (int, float)) or isinstance(elapsed, bool) \
+            or elapsed < 0:
+        errors.append(f"{where}.elapsed_seconds must be a non-negative number")
+    if not isinstance(span.get("attributes"), dict):
+        errors.append(f"{where}.attributes must be an object")
+    children = span.get("children")
+    if not isinstance(children, list):
+        errors.append(f"{where}.children must be an array")
+    else:
+        for index, child in enumerate(children):
+            errors.extend(_validate_span(child, f"{where}.children[{index}]"))
+    return errors

@@ -1,32 +1,34 @@
 """Fixture for the ``protocol-entry`` rule (linted as ``repro.smc.fixture``).
 
 Lines marked ``# BAD`` must each produce exactly one finding. This file
-is lint test data -- it is never imported.
+is lint test data -- it is never imported. Every decorator declares an
+explicit span name so the ``telemetry-span`` rule stays quiet and the
+findings are pure ``protocol-entry``.
 """
 
 from repro.smc.protocol import protocol_entry
 
 
-@protocol_entry
+@protocol_entry(span="fixture.missing_reset")
 def entry_missing_reset(ctx, value):
     blinded = value + 1
     return ctx.channel.client_sends(blinded)  # BAD
 
 
-@protocol_entry
+@protocol_entry(span="fixture.with_reset")
 def entry_with_reset(ctx, value):
     ctx.channel.reset_direction()
     return ctx.channel.client_sends(value)
 
 
-@protocol_entry
+@protocol_entry(span="fixture.reset_after_send")
 def entry_reset_after_send(ctx, value):
     out = ctx.channel.server_sends(value)  # BAD
     ctx.channel.reset_direction()
     return out
 
 
-@protocol_entry
+@protocol_entry(span="fixture.delegates_only")
 def entry_delegates_only(ctx, values):
     return [entry_with_reset(ctx, v) for v in values]
 

@@ -1,0 +1,40 @@
+"""Fixture for the ``telemetry-span`` rule (linted as ``repro.smc.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding. This file
+is lint test data -- it is never imported. None of the entry points send
+on the channel directly, so the ``protocol-entry`` rule stays quiet and
+the findings are pure ``telemetry-span``.
+"""
+
+from repro.smc.protocol import protocol_entry
+
+PREFIX = "dgk"
+
+
+@protocol_entry  # BAD
+def bare_decorator(ctx, value):
+    return value
+
+
+@protocol_entry()  # BAD
+def call_without_span(ctx, value):
+    return value
+
+
+@protocol_entry(span=PREFIX + ".computed")  # BAD
+def computed_span_name(ctx, value):
+    return value
+
+
+@protocol_entry(span="single_segment")  # BAD
+def undotted_span_name(ctx, value):
+    return value
+
+
+@protocol_entry(span="dgk.compare_fixture")
+def well_named_entry(ctx, value):
+    return value
+
+
+def undecorated_function_is_fine(ctx, value):
+    return value

@@ -53,6 +53,8 @@ FIXTURE_MODULES = {
                   "repro/smc"),
     "protocol-entry": ("protocol_entry_fixture.py", "repro.smc.fixture",
                        "repro/smc"),
+    "telemetry-span": ("telemetry_span_fixture.py", "repro.smc.fixture",
+                       "repro/smc"),
     "ciphertext-arith": ("ciphertext_arith_fixture.py", "repro.smc.fixture",
                          "repro/smc"),
     "exception-hygiene": ("exception_hygiene_fixture.py", "repro.smc.fixture",

@@ -19,6 +19,7 @@ from repro.data import (
     generate_warfarin,
     train_test_split,
 )
+from repro.core.session import SessionConfig
 from repro.smc.context import TwoPartyContext, make_context
 from repro.smc.network import Channel
 
@@ -52,24 +53,24 @@ def dgk_keys() -> DgkKeyPair:
 def session_context() -> TwoPartyContext:
     """One shared two-party context; its trace accumulates across tests
     (tests must assert on deltas or local channels, not absolutes)."""
-    return make_context(
+    return make_context(config=SessionConfig(
         seed=7,
         paillier_bits=TEST_PAILLIER_BITS,
         dgk_bits=TEST_DGK_BITS,
         dgk_plaintext_bits=16,
-    )
+    ))
 
 
 @pytest.fixture()
 def fresh_context() -> TwoPartyContext:
     """A context with a clean trace (fresh channel, shared keys are
     regenerated deterministically -- still fast at test sizes)."""
-    return make_context(
+    return make_context(config=SessionConfig(
         seed=11,
         paillier_bits=TEST_PAILLIER_BITS,
         dgk_bits=TEST_DGK_BITS,
         dgk_plaintext_bits=16,
-    )
+    ))
 
 
 @pytest.fixture(scope="session")

@@ -64,3 +64,138 @@ class TestAttackCommand:
         out = capsys.readouterr().out
         assert "vkorc1" in out
         assert "+model output" in out
+
+
+class TestFormatFlag:
+    def test_every_subcommand_has_format(self):
+        parser = build_parser()
+        cases = {
+            "datasets": ["datasets"],
+            "tradeoff": ["tradeoff"],
+            "classify": ["classify"],
+            "serve": ["serve", "--bundle", "b.json"],
+            "attack": ["attack"],
+            "calibrate": ["calibrate"],
+            "lint": ["lint"],
+            "metrics": ["metrics", "m.json"],
+        }
+        for name, argv in cases.items():
+            args = parser.parse_args(argv)
+            assert args.format == "text", name
+            args = parser.parse_args(argv + ["--format", "json"])
+            assert args.format == "json", name
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["datasets", "--format", "yaml"])
+
+    def test_metrics_flag_only_on_session_commands(self):
+        parser = build_parser()
+        for argv in (["tradeoff"], ["classify"],
+                     ["serve", "--bundle", "b.json"]):
+            assert parser.parse_args(argv).metrics is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["attack", "--metrics", "out.json"])
+
+    def test_datasets_json_roundtrip(self, capsys):
+        import json
+
+        assert main(["datasets", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload["datasets"]]
+        assert names == ["adult", "cancer", "warfarin"]
+        assert all(entry["samples"] > 0 for entry in payload["datasets"])
+
+    def test_tradeoff_json_roundtrip(self, capsys):
+        import json
+
+        code = main([
+            "tradeoff", "--dataset", "cancer", "--budgets", "0,1.0",
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "cancer"
+        budgets = [p["risk_budget"] for p in payload["points"]]
+        assert budgets == [0.0, 1.0]
+        assert all("speedup" in p for p in payload["points"])
+
+    def test_calibrate_json_roundtrip(self, capsys):
+        import json
+
+        assert main(["calibrate", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["op_seconds"]
+        assert all(v >= 0 for v in payload["op_seconds"].values())
+
+
+class TestClassifyMetrics:
+    def test_metrics_file_reconciles(self, tmp_path, capsys):
+        import json
+
+        import repro.telemetry as telemetry
+
+        path = tmp_path / "metrics.json"
+        try:
+            code = main([
+                "classify", "--dataset", "cancer", "--classifier", "tree",
+                "--budget", "0.2", "--rows", "1", "--format", "json",
+                "--metrics", str(path),
+            ])
+        finally:
+            telemetry.configure(False, reset=True)
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        document = json.loads(path.read_text())
+        assert telemetry.validate_metrics(document) == []
+        assert telemetry.wire_bytes_total(document) == \
+            payload["traffic"]["bytes"]
+        assert payload["telemetry_wire_bytes"] == payload["traffic"]["bytes"]
+        span_names = {s["name"] for s in document["spans"]}
+        assert "pipeline.classify" in span_names
+        assert "session.keygen" in span_names
+
+    def test_without_metrics_flag_telemetry_stays_off(self, capsys):
+        import repro.telemetry as telemetry
+
+        code = main([
+            "classify", "--dataset", "cancer", "--classifier", "tree",
+            "--budget", "0.2", "--rows", "1",
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert not telemetry.enabled()
+
+
+class TestMetricsCommand:
+    def test_check_accepts_valid_document(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import SCHEMA
+
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps({
+            "schema": SCHEMA,
+            "counters": {"op.x": 3},
+            "histograms": {},
+            "spans": [],
+        }))
+        assert main(["metrics", str(path), "--check"]) == 0
+        assert "op.x" in capsys.readouterr().out
+
+    def test_check_rejects_mangled_document(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope", "counters": 3}')
+        assert main(["metrics", str(path), "--check"]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_json_format_echoes_document(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "doc.json"
+        document = {"schema": "repro.telemetry/v1", "counters": {},
+                    "histograms": {}, "spans": []}
+        path.write_text(json.dumps(document))
+        assert main(["metrics", str(path), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == document

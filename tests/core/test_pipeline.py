@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import PipelineConfig, PrivacyAwareClassifier, ReproError, RiskMetric
+from repro.api import PipelineConfig, PrivacyAwareClassifier, ReproError, RiskMetric
 from repro.smc.cost_model import CostModel, NATIVE_1024
 from repro.smc.network import NetworkProfile
 

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro import PipelineConfig, PrivacyAwareClassifier, ReproError
+from repro.api import PipelineConfig, PrivacyAwareClassifier, ReproError
 from repro.core.serialization import (
     FORMAT_VERSION,
     deployment_from_dict,

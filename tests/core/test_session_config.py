@@ -1,0 +1,143 @@
+"""Tests for :class:`repro.core.session.SessionConfig` and its shims."""
+
+import argparse
+import warnings
+
+import pytest
+
+from repro.core.exceptions import ReproError
+from repro.core.session import (
+    ENGINE_BACKENDS,
+    RNG_MODES,
+    TRANSPORT_BACKENDS,
+    SessionConfig,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = SessionConfig()
+        assert config.engine_backend == "serial"
+        assert config.transport_backend == "inproc"
+        assert config.rng_mode == "deterministic"
+        assert config.telemetry is False
+
+    @pytest.mark.parametrize("field,value", [
+        ("engine_backend", "gpu"),
+        ("transport_backend", "carrier-pigeon"),
+        ("rng_mode", "lava-lamp"),
+        ("paillier_bits", 0),
+        ("dgk_bits", -1),
+        ("dgk_plaintext_bits", 0),
+        ("statistical_security_bits", 0),
+        ("engine_workers", 0),
+        ("transport_retries", -1),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ReproError):
+            SessionConfig(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SessionConfig().seed = 5  # type: ignore[misc]
+
+
+class TestOverrides:
+    def test_with_overrides_replaces_and_revalidates(self):
+        base = SessionConfig(seed=3)
+        derived = base.with_overrides(paillier_bits=384, seed=9)
+        assert derived.seed == 9
+        assert derived.paillier_bits == 384
+        assert base.paillier_bits == 512  # original untouched
+        with pytest.raises(ReproError):
+            base.with_overrides(engine_backend="quantum")
+
+
+class TestFromArgs:
+    def test_reads_cli_namespace(self):
+        args = argparse.Namespace(
+            seed=4, engine="parallel", workers=2, transport="tcp",
+            rng_mode="system", metrics="out.json",
+        )
+        config = SessionConfig.from_args(args)
+        assert config.seed == 4
+        assert config.engine_backend == "parallel"
+        assert config.engine_workers == 2
+        assert config.transport_backend == "tcp"
+        assert config.rng_mode == "system"
+        assert config.telemetry is True
+
+    def test_absent_flags_keep_defaults(self):
+        config = SessionConfig.from_args(argparse.Namespace(seed=1))
+        assert config.engine_backend == "serial"
+        assert config.telemetry is False
+
+    def test_extra_overrides_win(self):
+        args = argparse.Namespace(seed=1, engine="serial")
+        config = SessionConfig.from_args(args, paillier_bits=384, seed=8)
+        assert config.paillier_bits == 384
+        assert config.seed == 8
+
+
+class TestBackendTuplesStayInSync:
+    # SessionConfig keeps literal copies so that repro.core.session
+    # stays import-light; these tests are the drift alarm.
+
+    def test_engine_backends(self):
+        from repro.crypto.engine import BACKENDS
+        assert tuple(ENGINE_BACKENDS) == tuple(BACKENDS)
+
+    def test_transport_backends(self):
+        from repro.smc.transport import TRANSPORT_BACKENDS as REAL
+        assert tuple(TRANSPORT_BACKENDS) == tuple(REAL)
+
+    def test_rng_modes_cover_context_behaviour(self):
+        assert set(RNG_MODES) == {"deterministic", "system"}
+
+
+class TestMakeContextShim:
+    def test_config_object_accepted(self):
+        from repro.smc.context import make_context
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ctx = make_context(config=SessionConfig(
+                seed=5, paillier_bits=384, dgk_bits=192,
+                dgk_plaintext_bits=16,
+            ))
+        assert ctx.paillier.public_key.n.bit_length() >= 380
+
+    def test_legacy_kwargs_warn_once_then_work(self):
+        import repro.smc.context as context_module
+
+        original = context_module._legacy_kwargs_warned
+        context_module._legacy_kwargs_warned = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = context_module.make_context(
+                    seed=5, paillier_bits=384, dgk_bits=192,
+                    dgk_plaintext_bits=16,
+                )
+                second = context_module.make_context(
+                    seed=5, paillier_bits=384, dgk_bits=192,
+                    dgk_plaintext_bits=16,
+                )
+        finally:
+            context_module._legacy_kwargs_warned = original
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "SessionConfig" in str(deprecations[0].message)
+        # The shim routes legacy kwargs through the same construction.
+        assert first.paillier.public_key.n == second.paillier.public_key.n
+
+    def test_seed_alone_is_not_deprecated(self):
+        from repro.smc.context import make_context
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ctx = make_context(seed=13, config=SessionConfig(
+                paillier_bits=384, dgk_bits=192, dgk_plaintext_bits=16,
+            ))
+        assert ctx is not None

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PipelineConfig, PrivacyAwareClassifier, ReproError, TradeoffAnalyzer
+from repro.api import PipelineConfig, PrivacyAwareClassifier, ReproError, TradeoffAnalyzer
 
 
 @pytest.fixture(scope="module")

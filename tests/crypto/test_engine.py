@@ -11,6 +11,7 @@ from repro.crypto.engine import (
     make_engine,
 )
 from repro.crypto.paillier import PaillierPrivateKey
+from repro.core.session import SessionConfig
 from repro.crypto.rand import fresh_rng
 from repro.smc.argmax import secure_argmax
 from repro.smc.context import make_context
@@ -199,15 +200,19 @@ class TestContextParity:
 
     @pytest.fixture(scope="class")
     def contexts(self):
-        kwargs = dict(
+        config = SessionConfig(
             seed=33,
             paillier_bits=TEST_PAILLIER_BITS,
             dgk_bits=TEST_DGK_BITS,
             dgk_plaintext_bits=16,
         )
-        serial_ctx = make_context(engine_backend="serial", **kwargs)
+        serial_ctx = make_context(
+            config=config.with_overrides(engine_backend="serial")
+        )
         parallel_ctx = make_context(
-            engine_backend="parallel", engine_workers=2, **kwargs
+            config=config.with_overrides(
+                engine_backend="parallel", engine_workers=2
+            )
         )
         yield serial_ctx, parallel_ctx
         parallel_ctx.engine.close()

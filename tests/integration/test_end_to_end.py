@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
+from repro.api import PipelineConfig, PrivacyAwareClassifier, TradeoffAnalyzer
 from repro.classifiers import accuracy
 from repro.data import generate_adult_like, generate_cancer_like, train_test_split
 from repro.privacy import NaiveBayesAdversary, RiskModel

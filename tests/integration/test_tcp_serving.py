@@ -8,7 +8,7 @@ in-process replay from the same seed exactly.
 
 import pytest
 
-from repro import PipelineConfig, PrivacyAwareClassifier
+from repro.api import PipelineConfig, PrivacyAwareClassifier
 from repro.core.serialization import load_deployment, save_deployment
 from repro.smc.context import make_context
 from repro.smc.transport import (

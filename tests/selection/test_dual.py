@@ -95,7 +95,7 @@ class TestDualGreedy:
 
 class TestDualOnRealPipeline:
     def test_meets_latency_sla(self, warfarin_split):
-        from repro import PipelineConfig, PrivacyAwareClassifier
+        from repro.api import PipelineConfig, PrivacyAwareClassifier
 
         train, _ = warfarin_split
         pipeline = PrivacyAwareClassifier(

@@ -138,3 +138,54 @@ class TestNetworkModel:
         assert NetworkProfile.by_name("WAN") is NetworkProfile.WAN
         with pytest.raises(ChannelError):
             NetworkProfile.by_name("dialup")
+
+
+class TestTransportFailureAccounting:
+    # Regression: a frame that never crosses the wire must not be
+    # charged. Delivery (transport exchange + size verification) happens
+    # before the trace is touched.
+
+    class _ExplodingTransport:
+        last_frame_bytes = 0
+
+        def exchange(self, direction, payload):
+            raise ChannelError("link down")
+
+    class _LyingTransport:
+        # Reports a measured frame size that disagrees with the codec.
+        last_frame_bytes = 0
+
+        def exchange(self, direction, payload):
+            self.last_frame_bytes = 1
+            return payload
+
+    def test_failed_delivery_leaves_trace_unchanged(self):
+        channel = Channel()
+        channel.transport = self._ExplodingTransport()
+        with pytest.raises(ChannelError):
+            channel.send(Direction.CLIENT_TO_SERVER, 42)
+        assert channel.trace.total_bytes == 0
+        assert channel.trace.messages == 0
+        assert channel.trace.rounds == 0
+
+    def test_size_mismatch_detected_and_not_charged(self):
+        channel = Channel()
+        channel.transport = self._LyingTransport()
+        with pytest.raises(ChannelError):
+            channel.send(Direction.CLIENT_TO_SERVER, 42)
+        assert channel.trace.total_bytes == 0
+        assert channel.trace.messages == 0
+
+    def test_failed_delivery_records_no_telemetry(self):
+        import repro.telemetry as telemetry
+
+        telemetry.configure(True, reset=True)
+        try:
+            channel = Channel()
+            channel.transport = self._ExplodingTransport()
+            with pytest.raises(ChannelError):
+                channel.send(Direction.CLIENT_TO_SERVER, 42)
+            counters = telemetry.snapshot()["counters"]
+        finally:
+            telemetry.configure(False, reset=True)
+        assert "wire.frames" not in counters

@@ -1,0 +1,23 @@
+"""Telemetry test fixtures: a clean, enabled registry per test."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.telemetry as telemetry
+
+
+@pytest.fixture()
+def telemetry_on():
+    """Enable telemetry on a clean registry; always disable afterwards."""
+    telemetry.configure(True, reset=True)
+    yield telemetry
+    telemetry.configure(False, reset=True)
+
+
+@pytest.fixture()
+def telemetry_off():
+    """Guarantee telemetry is off and the registry is clean."""
+    telemetry.configure(False, reset=True)
+    yield telemetry
+    telemetry.configure(False, reset=True)

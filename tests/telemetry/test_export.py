@@ -1,0 +1,128 @@
+"""Tests for telemetry exporters, loading and schema validation."""
+
+import json
+
+import repro.telemetry as telemetry
+from repro.telemetry import (
+    SCHEMA,
+    load_metrics,
+    render_text,
+    span_wire_bytes,
+    to_json,
+    validate_metrics,
+    wire_bytes_total,
+    write_metrics,
+)
+
+
+def _sample_snapshot():
+    return {
+        "schema": SCHEMA,
+        "counters": {
+            "op.paillier_encrypt": 12,
+            "wire.unattributed_bytes": 7,
+        },
+        "histograms": {
+            "engine.worker.chunk_seconds": {
+                "count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+            },
+        },
+        "spans": [
+            {
+                "name": "pipeline.classify",
+                "elapsed_seconds": 0.25,
+                "attributes": {"wire_bytes": 100, "wire_frames": 3},
+                "children": [
+                    {
+                        "name": "dgk.compare",
+                        "elapsed_seconds": 0.01,
+                        "attributes": {"wire_bytes": 40},
+                        "children": [],
+                    },
+                ],
+            },
+        ],
+    }
+
+
+class TestRenderText:
+    def test_contains_spans_counters_histograms(self):
+        text = render_text(_sample_snapshot())
+        assert "pipeline.classify" in text
+        assert "dgk.compare" in text
+        assert "op.paillier_encrypt" in text
+        assert "wire_bytes=100" in text
+        assert "count=2 mean=1.5" in text
+
+    def test_empty_snapshot(self):
+        assert "empty" in render_text({"counters": {}, "spans": []})
+
+    def test_child_indented_deeper_than_parent(self):
+        lines = render_text(_sample_snapshot()).splitlines()
+        parent = next(l for l in lines if "pipeline.classify" in l)
+        child = next(l for l in lines if "dgk.compare" in l)
+        def indent(line):
+            return len(line) - len(line.lstrip())
+        assert indent(child) > indent(parent)
+
+
+class TestWireTotals:
+    def test_span_wire_bytes_walks_the_tree(self):
+        assert span_wire_bytes(_sample_snapshot()) == 140
+
+    def test_total_includes_unattributed(self):
+        assert wire_bytes_total(_sample_snapshot()) == 147
+
+
+class TestJsonRoundtrip:
+    def test_to_json_is_stable_and_valid(self):
+        snap = _sample_snapshot()
+        parsed = json.loads(to_json(snap))
+        assert parsed == snap
+        assert validate_metrics(parsed) == []
+
+    def test_write_and_load_file(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path, _sample_snapshot())
+        assert load_metrics(path) == _sample_snapshot()
+
+    def test_write_to_stdout(self, capsys):
+        write_metrics("-", _sample_snapshot())
+        out = capsys.readouterr().out
+        assert json.loads(out) == _sample_snapshot()
+
+    def test_live_snapshot_validates(self, telemetry_on):
+        telemetry.count("op.x", 2)
+        with telemetry.span("a.b"):
+            telemetry.record_wire("client_to_server", 10, "int")
+        assert validate_metrics(telemetry.snapshot()) == []
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_metrics([1, 2]) != []
+
+    def test_rejects_wrong_schema(self):
+        doc = _sample_snapshot()
+        doc["schema"] = "something/else"
+        assert any("schema" in e for e in validate_metrics(doc))
+
+    def test_rejects_boolean_counter(self):
+        doc = _sample_snapshot()
+        doc["counters"]["flag"] = True
+        assert any("flag" in e for e in validate_metrics(doc))
+
+    def test_rejects_truncated_histogram(self):
+        doc = _sample_snapshot()
+        del doc["histograms"]["engine.worker.chunk_seconds"]["max"]
+        assert any("max" in e for e in validate_metrics(doc))
+
+    def test_rejects_negative_elapsed(self):
+        doc = _sample_snapshot()
+        doc["spans"][0]["elapsed_seconds"] = -1
+        assert any("elapsed_seconds" in e for e in validate_metrics(doc))
+
+    def test_rejects_nameless_child_span(self):
+        doc = _sample_snapshot()
+        doc["spans"][0]["children"][0]["name"] = ""
+        assert any("children[0].name" in e for e in validate_metrics(doc))

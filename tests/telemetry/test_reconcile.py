@@ -1,0 +1,106 @@
+"""Telemetry-vs-trace reconciliation: the two accountings cannot drift.
+
+:meth:`repro.smc.network.Channel.send` charges the execution trace and
+the telemetry from the same size computation; these tests pin that the
+span-attributed wire bytes (plus any unattributed remainder) always sum
+to the trace's total, both at the channel level and through a real
+protocol run.
+"""
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.core.session import SessionConfig
+from repro.smc.comparison import compare_encrypted_client_learns, dgk_compare
+from repro.smc.context import make_context
+from repro.smc.network import Direction
+from repro.smc.protocol import Op
+
+
+@pytest.fixture()
+def metered_context(telemetry_on):
+    """A fresh context created while telemetry is already enabled."""
+    return make_context(config=SessionConfig(
+        seed=23, paillier_bits=384, dgk_bits=192, dgk_plaintext_bits=16,
+    ))
+
+
+class TestChannelReconciliation:
+    def test_raw_sends_reconcile(self, metered_context):
+        ctx = metered_context
+        ctx.channel.send(Direction.CLIENT_TO_SERVER, 12345)
+        with telemetry.span("test.block"):
+            ctx.channel.send(Direction.SERVER_TO_CLIENT, [1, 2, 3])
+        snap = telemetry.snapshot()
+        assert telemetry.wire_bytes_total(snap) == ctx.trace.total_bytes
+        # The un-spanned send lands in the unattributed counter, the
+        # spanned one on the span -- nothing is double counted.
+        assert snap["counters"]["wire.unattributed_bytes"] > 0
+        assert telemetry.span_wire_bytes(snap) > 0
+
+    def test_per_tag_bytes_cover_all_traffic(self, metered_context):
+        ctx = metered_context
+        ctx.channel.send(Direction.CLIENT_TO_SERVER, 7)
+        ctx.channel.send(Direction.CLIENT_TO_SERVER, b"blob")
+        ctx.channel.send(Direction.SERVER_TO_CLIENT, [1, 2])
+        counters = telemetry.snapshot()["counters"]
+        tagged = sum(
+            value for name, value in counters.items()
+            if name.startswith("wire.bytes.tag.")
+        )
+        assert tagged == ctx.trace.total_bytes
+        assert counters["wire.bytes.tag.int"] > 0
+        assert counters["wire.bytes.tag.bytes"] > 0
+        assert counters["wire.bytes.tag.list"] > 0
+
+    def test_directional_counters_match_trace(self, metered_context):
+        ctx = metered_context
+        ctx.channel.send(Direction.CLIENT_TO_SERVER, 1)
+        ctx.channel.send(Direction.SERVER_TO_CLIENT, 2)
+        ctx.channel.send(Direction.SERVER_TO_CLIENT, 3)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["wire.bytes.client_to_server"] == \
+            ctx.trace.bytes_client_to_server
+        assert counters["wire.bytes.server_to_client"] == \
+            ctx.trace.bytes_server_to_client
+        assert counters["wire.frames"] == ctx.trace.messages
+
+
+class TestProtocolReconciliation:
+    def test_dgk_compare_reconciles_and_spans(self, metered_context):
+        ctx = metered_context
+        shared = dgk_compare(ctx, 3, 5, 4)
+        assert shared.value == 1
+        snap = telemetry.snapshot()
+        assert telemetry.wire_bytes_total(snap) == ctx.trace.total_bytes
+        names = [s["name"] for s in snap["spans"]]
+        assert "dgk.compare" in names
+
+    def test_nested_protocol_spans(self, metered_context):
+        ctx = metered_context
+        z_encrypted = ctx.client_encrypt(9)
+        compare_encrypted_client_learns(ctx, z_encrypted, 8)
+        snap = telemetry.snapshot()
+        assert telemetry.wire_bytes_total(snap) == ctx.trace.total_bytes
+        roots = [s for s in snap["spans"]
+                 if s["name"] == "compare.encrypted_client_learns"]
+        assert roots, snap["spans"]
+        child_names = {c["name"] for c in roots[0]["children"]}
+        assert "dgk.encrypted_z_bit" in child_names
+
+    def test_op_counters_mirror_trace(self, metered_context):
+        ctx = metered_context
+        dgk_compare(ctx, 1, 2, 4)
+        counters = telemetry.snapshot()["counters"]
+        for op, times in ctx.trace.ops.items():
+            assert counters.get(f"op.{op.value}") == times, op
+
+    def test_disabled_session_records_nothing(self, telemetry_off):
+        ctx = make_context(config=SessionConfig(
+            seed=29, paillier_bits=384, dgk_bits=192, dgk_plaintext_bits=16,
+        ))
+        dgk_compare(ctx, 2, 1, 4)
+        snap = telemetry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["spans"] == []
+        assert ctx.trace.total_bytes > 0  # trace accounting unaffected

@@ -1,0 +1,159 @@
+"""Tests for the telemetry core: registry, spans, counters, merging."""
+
+import threading
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.telemetry import MetricsRegistry, SpanRecord
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self, telemetry_off):
+        assert not telemetry.enabled()
+
+    def test_count_and_observe_are_noops(self, telemetry_off):
+        telemetry.count("x")
+        telemetry.observe("y", 1.5)
+        snap = telemetry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+    def test_span_returns_shared_noop(self, telemetry_off):
+        first = telemetry.span("a.b")
+        second = telemetry.span("c.d", attr=1)
+        assert first is second  # one shared instance, no allocation
+        with first as handle:
+            handle.set("k", 1)
+            handle.add("n", 2)
+        assert telemetry.snapshot()["spans"] == []
+
+    def test_record_wire_is_noop(self, telemetry_off):
+        telemetry.record_wire("client_to_server", 100, "int")
+        assert telemetry.snapshot()["counters"] == {}
+
+
+class TestCountersAndHistograms:
+    def test_counters_accumulate(self, telemetry_on):
+        telemetry.count("op.encrypt")
+        telemetry.count("op.encrypt", 4)
+        assert telemetry.snapshot()["counters"]["op.encrypt"] == 5
+
+    def test_histogram_stats(self, telemetry_on):
+        for value in (1.0, 3.0, 2.0):
+            telemetry.observe("chunk_seconds", value)
+        hist = telemetry.snapshot()["histograms"]["chunk_seconds"]
+        assert hist == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self, telemetry_on):
+        with telemetry.span("outer", label="root") as outer:
+            outer.set("k", 1)
+            with telemetry.span("inner.first"):
+                pass
+            with telemetry.span("inner.second"):
+                pass
+        spans = telemetry.snapshot()["spans"]
+        assert [s["name"] for s in spans] == ["outer"]
+        assert spans[0]["attributes"] == {"label": "root", "k": 1}
+        assert [c["name"] for c in spans[0]["children"]] == [
+            "inner.first", "inner.second",
+        ]
+        assert spans[0]["elapsed_seconds"] >= 0
+
+    def test_exception_recorded_and_propagated(self, telemetry_on):
+        with pytest.raises(ValueError):
+            with telemetry.span("broken"):
+                raise ValueError("boom")
+        spans = telemetry.snapshot()["spans"]
+        assert spans[0]["attributes"]["error"] == "ValueError"
+
+    def test_current_span_tracks_innermost(self, telemetry_on):
+        assert telemetry.current_span() is None
+        with telemetry.span("outer"):
+            assert telemetry.current_span().name == "outer"
+            with telemetry.span("inner"):
+                assert telemetry.current_span().name == "inner"
+            assert telemetry.current_span().name == "outer"
+        assert telemetry.current_span() is None
+
+    def test_threads_get_independent_span_stacks(self, telemetry_on):
+        seen = {}
+
+        def worker():
+            with telemetry.span("thread.root"):
+                seen["inner"] = telemetry.current_span().name
+
+        with telemetry.span("main.root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            # The worker's span must not nest under ours.
+            assert telemetry.current_span().name == "main.root"
+        assert seen["inner"] == "thread.root"
+        names = sorted(s["name"] for s in telemetry.snapshot()["spans"])
+        assert names == ["main.root", "thread.root"]
+        assert all(not s["children"] for s in telemetry.snapshot()["spans"])
+
+
+class TestRecordWire:
+    def test_attributes_to_innermost_span(self, telemetry_on):
+        with telemetry.span("proto"):
+            telemetry.record_wire("client_to_server", 40, "paillier")
+            telemetry.record_wire("server_to_client", 8, "int")
+        span = telemetry.snapshot()["spans"][0]
+        assert span["attributes"]["wire_bytes"] == 48
+        assert span["attributes"]["wire_frames"] == 2
+        counters = telemetry.snapshot()["counters"]
+        assert counters["wire.frames"] == 2
+        assert counters["wire.bytes.client_to_server"] == 40
+        assert counters["wire.bytes.server_to_client"] == 8
+        assert counters["wire.bytes.tag.paillier"] == 40
+        assert "wire.unattributed_bytes" not in counters
+
+    def test_unattributed_outside_any_span(self, telemetry_on):
+        telemetry.record_wire("client_to_server", 25)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["wire.unattributed_bytes"] == 25
+        assert "wire.bytes.tag.none" not in counters  # no tag given
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_detached(self, telemetry_on):
+        telemetry.count("a")
+        snap = telemetry.snapshot()
+        snap["counters"]["a"] = 99
+        assert telemetry.snapshot()["counters"]["a"] == 1
+
+    def test_merge_combines_everything(self):
+        worker = MetricsRegistry()
+        worker.count("jobs", 3)
+        worker.observe("seconds", 2.0)
+        worker.add_root(SpanRecord(name="worker.chunk"))
+
+        parent = MetricsRegistry()
+        parent.count("jobs", 1)
+        parent.observe("seconds", 5.0)
+        parent.merge(worker.snapshot())
+
+        snap = parent.snapshot()
+        assert snap["counters"]["jobs"] == 4
+        assert snap["histograms"]["seconds"] == {
+            "count": 2, "sum": 7.0, "min": 2.0, "max": 5.0,
+        }
+        assert [s["name"] for s in snap["spans"]] == ["worker.chunk"]
+
+    def test_span_record_roundtrip(self):
+        root = SpanRecord(name="r", attributes={"x": 1})
+        root.children.append(SpanRecord(name="c", elapsed_seconds=0.5))
+        rebuilt = SpanRecord.from_dict(root.to_dict())
+        assert rebuilt.to_dict() == root.to_dict()
+
+    def test_configure_reset_clears(self, telemetry_on):
+        telemetry.count("a")
+        with telemetry.span("s"):
+            pass
+        telemetry.configure(True, reset=True)
+        snap = telemetry.snapshot()
+        assert snap["counters"] == {} and snap["spans"] == []

@@ -1,0 +1,150 @@
+"""E23 -- Extension: concurrent serving throughput vs. worker count.
+
+The serving runtime exists for one reason: real clients are *remote*,
+and a remote client spends most of each request's wall-clock waiting on
+network round trips, not on the server's CPU. A serial server is idle
+during every one of those round trips; a concurrent one overlaps them
+across requests. This bench measures exactly that effect:
+
+* 16 concurrent clients issue one classification each against an
+  in-process :class:`~repro.serving.ClassificationServer`;
+* each client is latency-paced (``pace_seconds`` sleeps before every
+  mirrored protocol frame), modelling a WAN client at ~15 ms per round
+  trip -- the protocol runs ~14 rounds, so pacing dominates each
+  request exactly as it does in deployment;
+* the same workload runs with ``max_workers=1`` (the serial baseline)
+  and ``max_workers=4``.
+
+Every label is checked against its deterministic in-process replay, so
+the speedup cannot come from dropping or corrupting work. The gate is
+conservative on a single-CPU runner: with 4 workers the paced waits of
+4 requests overlap, and the acceptance criterion is >= 2.5x.
+
+Results land in ``BENCH_serving.json`` so later scaling PRs (sharding,
+batching, async) can track the trajectory.
+"""
+
+import os
+import socket
+import threading
+import time
+
+from repro.bench import Table, write_bench_json
+from repro.core.serialization import deployment_from_dict, deployment_to_dict
+from repro.core.session import SessionConfig
+from repro.serving import ClassificationServer
+from repro.smc.context import make_context
+from repro.smc.transport import request_classification
+
+from conftest import BENCH_DGK_BITS, BENCH_PAILLIER_BITS, bench_config
+
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_serving.json"
+)
+_SEED = 2300
+N_CLIENTS = 16
+PACE_SECONDS = 0.015
+WORKER_COUNTS = (1, 4)
+SPEEDUP_GATE = 2.5
+
+
+def _deployed(warfarin_train_test):
+    from repro.api import PrivacyAwareClassifier
+
+    train, test = warfarin_train_test
+    pipeline = PrivacyAwareClassifier(
+        bench_config("naive_bayes", risk_sample_rows=100)
+    ).fit(train)
+    pipeline.select_disclosure(0.1)
+    rows = [[int(v) for v in row] for row in test.X[:N_CLIENTS]]
+    return deployment_from_dict(deployment_to_dict(pipeline)), rows
+
+
+def _run_serving_round(deployed, rows, workers):
+    """16 paced clients against one server; returns (elapsed, labels)."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    server = ClassificationServer(
+        deployed, listener,
+        config=SessionConfig(max_workers=workers, queue_depth=N_CLIENTS),
+    )
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    labels = {}
+    failures = []
+
+    def client(i):
+        try:
+            result = request_classification(
+                "127.0.0.1", port, rows[i], seed=_SEED + i,
+                pace_seconds=PACE_SECONDS,
+            )
+            labels[i] = result.label
+        except Exception as error:  # pragma: no cover - fail the bench
+            failures.append((i, repr(error)))
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    elapsed = time.perf_counter() - start
+    server.shutdown()
+    server_thread.join(timeout=60)
+    assert not failures, failures
+    assert sorted(labels) == list(range(N_CLIENTS))
+    return elapsed, labels
+
+
+def test_e23_concurrent_serving_throughput(warfarin_train_test):
+    deployed, rows = _deployed(warfarin_train_test)
+
+    expected = {}
+    for i in range(N_CLIENTS):
+        ctx = make_context(config=SessionConfig(
+            seed=_SEED + i, paillier_bits=BENCH_PAILLIER_BITS,
+            dgk_bits=BENCH_DGK_BITS,
+        ))
+        expected[i] = deployed.classify(ctx, rows[i])
+
+    table = Table(
+        "E23: concurrent serving, 16 paced clients "
+        f"({PACE_SECONDS * 1e3:.0f} ms/round trip)",
+        ["workers", "wall s", "req/s", "speedup"],
+    )
+    metrics = {}
+    elapsed_by_workers = {}
+    for workers in WORKER_COUNTS:
+        elapsed, labels = _run_serving_round(deployed, rows, workers)
+        assert labels == expected, "concurrency changed a label"
+        elapsed_by_workers[workers] = elapsed
+        metrics[f"elapsed_s_workers_{workers}"] = elapsed
+        metrics[f"throughput_rps_workers_{workers}"] = N_CLIENTS / elapsed
+
+    speedup = elapsed_by_workers[1] / elapsed_by_workers[WORKER_COUNTS[-1]]
+    metrics["speedup_4_over_1"] = speedup
+    for workers in WORKER_COUNTS:
+        elapsed = elapsed_by_workers[workers]
+        table.add_row([
+            workers, elapsed, N_CLIENTS / elapsed,
+            elapsed_by_workers[1] / elapsed,
+        ])
+    table.print()
+
+    write_bench_json(
+        _BENCH_JSON, "e23_concurrent_serve", metrics,
+        meta={
+            "clients": N_CLIENTS,
+            "pace_seconds": PACE_SECONDS,
+            "worker_counts": list(WORKER_COUNTS),
+            "paillier_bits": BENCH_PAILLIER_BITS,
+            "dgk_bits": BENCH_DGK_BITS,
+            "gate": SPEEDUP_GATE,
+        },
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"4 workers gave only {speedup:.2f}x over 1 worker "
+        f"(gate {SPEEDUP_GATE}x)"
+    )

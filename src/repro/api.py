@@ -10,7 +10,8 @@ One import gives everything a user of the library needs::
 The facade re-exports the pipeline, the session configuration, the
 trade-off analyzer, live-session construction and the telemetry entry
 points eagerly; the deployment *serving* surface (``serve_deployment``,
-``request_classification``, ...) is re-exported lazily via PEP 562 so
+``ClassificationServer``, ``request_classification``, ``ServerError``,
+...) is re-exported lazily via PEP 562 so
 that ``import repro.api`` never drags in the TCP transport stack --
 scripts that only train and classify in-process stay light, and the
 facade import itself cannot open sockets or spawn process pools
@@ -37,12 +38,14 @@ from repro.telemetry import span
 
 __all__ = [
     "ClassificationResult",
+    "ClassificationServer",
     "DisclosureProblem",
     "DisclosureSolution",
     "PipelineConfig",
     "PrivacyAwareClassifier",
     "ReproError",
     "RiskMetric",
+    "ServerError",
     "SessionConfig",
     "TradeoffAnalyzer",
     "TradeoffPoint",
@@ -59,6 +62,8 @@ __all__ = [
 #: sockets/multiprocessing machinery, so they only load on first touch.
 _LAZY_EXPORTS = {
     "ClassificationResult": ("repro.smc.transport", "ClassificationResult"),
+    "ClassificationServer": ("repro.serving", "ClassificationServer"),
+    "ServerError": ("repro.smc.transport", "ServerError"),
     "request_classification": (
         "repro.smc.transport", "request_classification"
     ),

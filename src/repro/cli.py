@@ -11,7 +11,9 @@ Commands
     the in-process transport or over a real localhost TCP socket
     (``--transport tcp``).
 ``serve``
-    Serve a saved deployment bundle over a TCP socket.
+    Serve a saved deployment bundle over a TCP socket, concurrently
+    (``--workers``/``--queue-depth``/``--request-timeout``; see
+    ``docs/DEPLOYMENT.md``).
 ``attack``
     Run the Fredrikson-style model-inversion escalation.
 ``calibrate``
@@ -122,6 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-connections", type=int, default=None,
                        help="stop after this many connections "
                             "(default: serve forever)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="request handler threads (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admitted requests that may wait for a free "
+                            "worker before new connections are shed with "
+                            "an 'overloaded' error (default 16)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       help="per-request wall-clock deadline in seconds "
+                            "(default: the transport io timeout)")
+    serve.add_argument("--engine", choices=ENGINE_BACKENDS, default="serial",
+                       help="batch crypto engine shared by all request "
+                            "handlers (default serial)")
+    serve.add_argument("--engine-workers", type=int, default=None,
+                       help="worker processes for --engine parallel "
+                            "(default: CPU count)")
     add_format_argument(serve)
     add_metrics_argument(serve)
 
@@ -376,24 +393,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     metered = _begin_metrics(args)
     deployed = load_deployment(args.bundle)
+    config = SessionConfig(
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.request_timeout,
+        engine_backend=args.engine,
+        engine_workers=args.engine_workers,
+    )
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((args.host, args.port))
-    listener.listen(4)
+    listener.listen(max(4, args.workers + args.queue_depth))
     host, port = listener.getsockname()
     emit(
         args.format,
-        text=f"serving {args.bundle} ({deployed.kind}) on {host}:{port}",
+        text=(
+            f"serving {args.bundle} ({deployed.kind}) on {host}:{port} "
+            f"with {args.workers} workers (queue depth {args.queue_depth})"
+        ),
         payload={
             "bundle": args.bundle,
             "kind": deployed.kind,
             "host": host,
             "port": port,
+            "workers": args.workers,
+            "queue_depth": args.queue_depth,
         },
     )
     sys.stdout.flush()
     with listener:
-        deployed.serve(listener, max_connections=args.max_connections)
+        deployed.serve(
+            listener, max_connections=args.max_connections, config=config
+        )
     if metered:
         _finish_metrics(args)
     return 0

@@ -9,4 +9,19 @@ the API boundary.
 
 
 class ReproError(Exception):
-    """Raised on invalid pipeline configuration or call ordering."""
+    """Raised on invalid pipeline configuration or call ordering.
+
+    The single exception type the public API guarantees for *usage*
+    errors: an unknown classifier or backend name, an out-of-range key
+    size, classifying before fitting, selecting disclosure before
+    training the adversary. Runtime failures keep their focused
+    subsystem types (``TransportError``, ``WireError``, ``DgkError``,
+    ...), all of which application code can catch separately.
+
+    Example::
+
+        try:
+            PipelineConfig(classifier="svm")
+        except ReproError as error:
+            print(error)   # unknown classifier 'svm'; expected one of ...
+    """

@@ -104,6 +104,12 @@ class PipelineConfig:
         over the per-parameter ``paillier_bits`` / ``dgk_bits`` /
         ``engine_backend`` / ``seed`` fields above for context creation
         (those remain in force for the analytic cost model's sizes).
+
+    Example::
+
+        config = PipelineConfig(classifier="naive_bayes",
+                                paillier_bits=384, dgk_bits=192)
+        pipeline = PrivacyAwareClassifier(config).fit(train)
     """
 
     classifier: str = "naive_bayes"
@@ -163,7 +169,27 @@ class PipelineConfig:
 
 
 class PrivacyAwareClassifier:
-    """Train, optimize disclosure, classify -- the paper's system."""
+    """Train, optimize disclosure, classify -- the paper's system.
+
+    The end-to-end pipeline of Pattuk et al. (ICDE 2016): :meth:`fit`
+    trains the plaintext model and the adversary's background model on
+    a cohort; :meth:`select_disclosure` solves the constrained
+    optimization that picks which features to disclose in plaintext so
+    the adversary's gain stays under a risk budget while the remaining
+    secure evaluation (Bost-style encrypted classification over
+    Paillier/DGK) gets as cheap as possible; :meth:`classify` then runs
+    one live hybrid query through a two-party context. :meth:`speedup`
+    reports the modeled gain over pure SMC for the chosen set.
+
+    Example::
+
+        pipeline = PrivacyAwareClassifier(
+            PipelineConfig(classifier="naive_bayes")
+        ).fit(train)
+        solution = pipeline.select_disclosure(risk_budget=0.1)
+        ctx = pipeline.make_context(seed=7)
+        label = pipeline.classify(test.X[0], ctx=ctx)
+    """
 
     def __init__(self, config: Optional[PipelineConfig] = None) -> None:
         self.config = config or PipelineConfig()

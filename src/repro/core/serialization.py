@@ -201,21 +201,45 @@ class DeployedClassifier:
         else:
             raise ReproError(f"unknown deployed model kind {self.kind!r}")
 
-    def classify(self, ctx: TwoPartyContext, row: np.ndarray) -> int:
-        """One live hybrid query under the shipped disclosure policy."""
-        return self.secure_model.classify(ctx, np.asarray(row), self.disclosure)
+    def classify(
+        self,
+        ctx: TwoPartyContext,
+        row: np.ndarray,
+        disclosure: Optional[Sequence[int]] = None,
+    ) -> int:
+        """One live hybrid query.
 
-    def serve(self, listener, max_connections: Optional[int] = None) -> None:
+        ``disclosure`` overrides the shipped policy for this call only;
+        the bundle's own ``self.disclosure`` is never mutated, so
+        concurrent requests with different overrides cannot observe
+        each other's policy (the serving runtime relies on this).
+        """
+        effective = (
+            list(self.disclosure) if disclosure is None
+            else [int(i) for i in disclosure]
+        )
+        return self.secure_model.classify(ctx, np.asarray(row), effective)
+
+    def serve(
+        self,
+        listener,
+        max_connections: Optional[int] = None,
+        config=None,
+    ) -> None:
         """Serve classification queries over an already-bound socket.
 
         Every protocol message of each query crosses the socket to the
         connecting client process; see
         :func:`repro.smc.transport.serve_deployment` for the session
-        protocol.
+        protocol and ``config`` (a
+        :class:`repro.core.session.SessionConfig`) for the concurrency
+        knobs.
         """
         from repro.smc.transport import serve_deployment
 
-        serve_deployment(self, listener, max_connections=max_connections)
+        serve_deployment(
+            self, listener, max_connections=max_connections, config=config
+        )
 
 
 def deployment_to_dict(pipeline: PrivacyAwareClassifier) -> Dict:

@@ -66,6 +66,19 @@ class SessionConfig:
         Whether spans/counters should be recorded for this session.
         The CLI flips this on for ``--metrics``; library users call
         :func:`repro.telemetry.configure` themselves.
+    max_workers / queue_depth / request_timeout_s:
+        Serving-runtime policy (:class:`repro.serving
+        .ClassificationServer`): the request handler pool size, how
+        many admitted requests may wait for a free worker before new
+        connections are shed with an ``overloaded`` error, and the
+        per-request wall-clock deadline in seconds (``None`` = fall
+        back to ``io_timeout``).
+
+    Example::
+
+        config = SessionConfig(seed=7, paillier_bits=384, dgk_bits=192)
+        ctx = make_context(config=config)
+        faster = config.with_overrides(engine_backend="parallel")
     """
 
     seed: int = 0
@@ -82,6 +95,9 @@ class SessionConfig:
     backoff_seconds: float = 0.05
     rng_mode: str = "deterministic"
     telemetry: bool = False
+    max_workers: int = 4
+    queue_depth: int = 16
+    request_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.engine_backend not in ENGINE_BACKENDS:
@@ -109,6 +125,19 @@ class SessionConfig:
             )
         if self.transport_retries < 0:
             raise ReproError("transport_retries must be non-negative")
+        if self.max_workers < 1:
+            raise ReproError(
+                f"max_workers must be positive, got {self.max_workers}"
+            )
+        if self.queue_depth < 0:
+            raise ReproError(
+                f"queue_depth must be non-negative, got {self.queue_depth}"
+            )
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ReproError(
+                f"request_timeout_s must be positive, "
+                f"got {self.request_timeout_s}"
+            )
 
     def with_overrides(self, **overrides) -> "SessionConfig":
         """A copy with the given fields replaced (validation re-runs)."""
@@ -119,9 +148,10 @@ class SessionConfig:
         """Build a config from a parsed CLI namespace.
 
         Reads whichever of ``--seed``, ``--engine``, ``--workers``,
-        ``--transport``, ``--rng-mode`` and ``--metrics`` the
-        subcommand defined; anything absent keeps its default.
-        ``extra`` overrides both.
+        ``--transport``, ``--rng-mode``, ``--metrics``,
+        ``--queue-depth`` and ``--request-timeout`` the subcommand
+        defined; anything absent keeps its default. ``extra`` overrides
+        both.
         """
         values = {}
         for field_name, arg_name in (
@@ -130,6 +160,8 @@ class SessionConfig:
             ("engine_workers", "workers"),
             ("transport_backend", "transport"),
             ("rng_mode", "rng_mode"),
+            ("queue_depth", "queue_depth"),
+            ("request_timeout_s", "request_timeout"),
         ):
             value = getattr(args, arg_name, None)
             if value is not None:

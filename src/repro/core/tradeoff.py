@@ -20,7 +20,21 @@ from repro.core.pipeline import PrivacyAwareClassifier
 
 @dataclass(frozen=True)
 class TradeoffPoint:
-    """One budget's outcome on the trade-off curve."""
+    """One budget's outcome on the privacy/performance trade-off curve.
+
+    Produced by :meth:`TradeoffAnalyzer.sweep`: for a given
+    ``risk_budget`` it records the privacy loss the chosen disclosure
+    set actually achieves (``achieved_risk``), which and how many
+    features are disclosed, the modeled secure-evaluation cost in
+    seconds, and the ``speedup`` over classifying with everything
+    hidden (pure SMC) -- the paper's headline number.
+
+    Example::
+
+        point = TradeoffAnalyzer(pipeline).sweep([0.1])[0]
+        assert point.achieved_risk <= point.risk_budget
+        print(f"{point.speedup:.1f}x over pure SMC")
+    """
 
     risk_budget: float
     achieved_risk: float
@@ -41,7 +55,19 @@ class TradeoffPoint:
 
 
 class TradeoffAnalyzer:
-    """Budget sweeps over a fitted pipeline."""
+    """Budget sweeps over a fitted pipeline.
+
+    Reproduces the paper's trade-off curves: solve the disclosure
+    problem at each privacy budget in turn and report risk, disclosure
+    set, modeled cost and speedup per point.
+    :meth:`format_table` renders the points the way ``python -m repro
+    tradeoff`` prints them.
+
+    Example::
+
+        points = TradeoffAnalyzer(pipeline).sweep([0.0, 0.05, 0.1])
+        print(TradeoffAnalyzer.format_table(points))
+    """
 
     def __init__(self, pipeline: PrivacyAwareClassifier) -> None:
         self.pipeline = pipeline

@@ -44,6 +44,16 @@ class DisclosureProblem:
     free_features:
         Features whose disclosure is always allowed and free (already
         public); solvers include them unconditionally.
+
+    Example::
+
+        problem = DisclosureProblem(
+            candidates=(0, 1, 3),
+            risk=lambda s: 0.02 * len(s),
+            cost=lambda s: 10.0 - 2.0 * len(s),
+            risk_budget=0.05,
+        )
+        solution = solve_greedy(problem)
     """
 
     candidates: Tuple[int, ...]
@@ -113,6 +123,12 @@ class DisclosureSolution:
     nodes_explored:
         Search-effort indicator (meaning differs per solver: subsets
         enumerated / greedy steps / B&B nodes / annealing moves).
+
+    Example::
+
+        solution = solve_greedy(problem)
+        assert solution.risk <= problem.risk_budget
+        print(solution.algorithm, sorted(solution.disclosed))
     """
 
     disclosed: Tuple[int, ...]

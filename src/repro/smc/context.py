@@ -54,6 +54,12 @@ class TwoPartyContext:
         parallel engine (``make_engine("parallel", workers)``) fans the
         big-int exponentiations out across processes while producing
         byte-identical ciphertexts and identical traces.
+
+    Example::
+
+        ctx = make_context(config=SessionConfig(seed=7))
+        label = deployed.classify(ctx, row)
+        print(ctx.trace.total_bytes, ctx.trace.rounds)
     """
 
     channel: Channel
@@ -197,6 +203,12 @@ def make_context(
     When ``config.telemetry`` is set, telemetry recording is switched on
     for the process before key generation, so the session is observable
     from its first operation.
+
+    Example::
+
+        ctx = make_context(config=SessionConfig(
+            seed=7, paillier_bits=384, dgk_bits=192,
+        ))
     """
     global _legacy_kwargs_warned
     cfg = config if config is not None else SessionConfig()

@@ -16,8 +16,10 @@ This module makes the *wire* under that channel real and pluggable:
   frame bytes, which must equal the trace accounting exactly.
 
 On top of the message transports sits the deployment serving path:
-:func:`serve_deployment` runs a classification *server process* that
-loads a deployment bundle and serves live hybrid queries over a socket;
+:func:`serve_deployment` runs a classification server -- since PR 5 a
+thin wrapper over the concurrent, fault-isolated
+:class:`repro.serving.ClassificationServer` runtime -- that loads a
+deployment bundle and serves live hybrid queries over a socket;
 :func:`request_classification` is the matching *client process* side.
 Each query's protocol messages all cross the socket between the two
 processes, and the client gets back the label plus the server's trace
@@ -27,7 +29,11 @@ Failure semantics: connects and reads are bounded by timeouts; transient
 connection failures (refused connects, connections dropped mid-protocol)
 are retried with exponential backoff up to a bounded attempt budget;
 anything that exhausts the budget or hits a hard timeout raises
-:class:`TransportError` -- no hung processes, no silent corruption.
+:class:`TransportError` -- no hung processes, no silent corruption. A
+server that *rejects* a request (overload, bad request, deadline, an
+internal handler failure) answers a ``KIND_ERROR`` frame, which the
+client raises as a typed :class:`ServerError` carrying the machine
+-readable code.
 """
 
 from __future__ import annotations
@@ -47,6 +53,34 @@ _LOCALHOST = "127.0.0.1"
 
 class TransportError(Exception):
     """Raised when a transport cannot deliver a message."""
+
+
+class ServerError(TransportError):
+    """A classification server answered with a ``KIND_ERROR`` frame.
+
+    The server reported a request-level failure instead of a result.
+    ``code`` is machine-readable and stable for retry policy:
+    ``"overloaded"`` (shed at admission -- retry with backoff),
+    ``"bad-request"`` (malformed payload -- do not retry),
+    ``"deadline"`` (the request exceeded the server's per-request
+    timeout) and ``"internal"`` (a handler fault; the server itself
+    kept serving). ``message`` is a sanitized human-readable sentence
+    and ``request_id`` the server-assigned id of the failed request.
+
+    Example::
+
+        try:
+            request_classification(host, port, row=[1, 2], seed=7)
+        except ServerError as error:
+            if error.code == "overloaded":
+                ...  # back off and retry
+    """
+
+    def __init__(self, code: str, message: str, request_id: str = "") -> None:
+        super().__init__(f"server error [{code}] {message}")
+        self.code = code
+        self.message = message
+        self.request_id = request_id
 
 
 @dataclass(frozen=True)
@@ -432,7 +466,22 @@ def start_wire_peer(
 
 @dataclass
 class ClassificationResult:
-    """What the client process gets back from one served query."""
+    """What the client process gets back from one served query.
+
+    ``label`` is the classification; ``server_trace`` the server's full
+    execution-trace summary (bytes, rounds, messages, wall time);
+    ``client_stats`` the client's own independently measured frame and
+    byte counts, which must agree with the server's accounting
+    byte-for-byte; ``request_id`` the server-assigned id, matching the
+    ``serve.request`` telemetry span on the server side.
+
+    Example::
+
+        result = request_classification("127.0.0.1", port, [2, 0, 1],
+                                        seed=7)
+        assert result.client_stats["bytes_received"] == \\
+            result.server_trace["bytes_total"]
+    """
 
     label: int
     server_trace: Dict[str, float]
@@ -444,6 +493,7 @@ def serve_deployment(
     deployed,
     listener: socket.socket,
     max_connections: Optional[int] = None,
+    config=None,
 ) -> None:
     """Serve live hybrid classification queries over ``listener``.
 
@@ -457,67 +507,28 @@ def serve_deployment(
     3. every protocol message of the classification crosses this socket
        as a ``KIND_MSG`` frame, mirrored by the client;
     4. the server finishes with a ``KIND_RESULT`` frame carrying the
-       label and the full trace summary.
+       label and the full trace summary -- or a ``KIND_ERROR`` frame if
+       the request was shed, malformed, timed out or crashed.
 
-    ``deployed`` is a :class:`repro.core.serialization.DeployedClassifier`.
+    Requests are served *concurrently* by the
+    :class:`repro.serving.ClassificationServer` runtime; this function
+    is the blocking convenience wrapper (build the server yourself for
+    explicit lifecycle control). ``deployed`` is a
+    :class:`repro.core.serialization.DeployedClassifier`; ``config`` an
+    optional :class:`repro.core.session.SessionConfig` carrying
+    ``max_workers`` / ``queue_depth`` / ``request_timeout_s``.
+
+    Example::
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        serve_deployment(deployed, listener, max_connections=8)
     """
-    import numpy as np
+    from repro.serving import ClassificationServer
 
-    from repro.core.session import SessionConfig
-    from repro.smc.context import make_context
-
-    served = 0
-    while max_connections is None or served < max_connections:
-        try:
-            sock, _ = listener.accept()
-        except OSError:  # pragma: no cover - listener closed under us
-            return
-        served += 1
-        request_id = f"req-{served:06d}"
-        with sock:
-            kind, body = wire.recv_frame(sock)
-            if kind == wire.KIND_SHUTDOWN:
-                return
-            if kind != wire.KIND_REQUEST:
-                continue
-            telemetry.count("serve.requests")
-            request = wire.WireCodec().decode(body)
-            with telemetry.span(
-                "serve.request", request_id=request_id
-            ) as request_span:
-                config = SessionConfig(
-                    seed=int(request["seed"]),
-                    paillier_bits=deployed.paillier_bits,
-                    dgk_bits=deployed.dgk_bits,
-                )
-                ctx = make_context(config=config)
-                codec = wire.codec_for_context(ctx)
-                transport = TcpTransport(codec=codec, sock=sock)
-                ctx.channel.transport = transport
-                disclosure = request.get("disclosure")
-                if disclosure is not None:
-                    deployed_disclosure = deployed.disclosure
-                    deployed.disclosure = [int(i) for i in disclosure]
-                try:
-                    label = deployed.classify(ctx, np.asarray(request["row"]))
-                finally:
-                    if disclosure is not None:
-                        deployed.disclosure = deployed_disclosure
-                request_span.set("label", int(label))
-                request_span.set("trace_bytes", ctx.trace.total_bytes)
-            result = {
-                "label": int(label),
-                "request_id": request_id,
-                "trace": ctx.trace.summary(),
-                "measured": {
-                    "frames": transport.stats.frames,
-                    "bytes_client_to_server":
-                        transport.stats.bytes_client_to_server,
-                    "bytes_server_to_client":
-                        transport.stats.bytes_server_to_client,
-                },
-            }
-            wire.send_frame(sock, wire.KIND_RESULT, wire.encode(result))
+    server = ClassificationServer(
+        deployed, listener, config=config, max_connections=max_connections
+    )
+    server.serve_forever()
 
 
 def _deployment_server_main(ready, bundle_path: str,
@@ -541,9 +552,21 @@ def start_deployment_server(
     """Launch a deployment-bundle classification server process.
 
     Returns ``(process, port)``. The server loads the bundle from
-    ``bundle_path`` and serves until ``max_connections`` connections are
-    handled (or forever when ``None``; send a shutdown frame or
-    terminate the process to stop it).
+    ``bundle_path``, binds an ephemeral localhost port and serves
+    concurrently (the :class:`repro.serving.ClassificationServer`
+    runtime with default :class:`~repro.core.session.SessionConfig`
+    knobs) until ``max_connections`` connections are handled (or
+    forever when ``None``; send a shutdown frame or terminate the
+    process to stop it). The test-suite and benchmark entry point for
+    a real out-of-process server; production deployments use
+    ``python -m repro serve``.
+
+    Example::
+
+        process, port = start_deployment_server("bundle.json",
+                                                max_connections=1)
+        result = request_classification("127.0.0.1", port, row, seed=7)
+        process.join()
     """
     parent, child = multiprocessing.Pipe()
     process = multiprocessing.Process(
@@ -565,12 +588,25 @@ def request_classification(
     seed: int,
     disclosure: Optional[Sequence[int]] = None,
     config: TransportConfig = TransportConfig(),
+    pace_seconds: float = 0.0,
 ) -> ClassificationResult:
     """Client-process side of one served query.
 
     Connects to a :func:`serve_deployment` server, submits the query,
     mirrors every protocol frame (each crosses the socket physically),
     and returns the label plus both endpoints' byte accounting.
+
+    ``pace_seconds`` sleeps before mirroring each protocol frame,
+    simulating a remote client's per-round network latency (localhost
+    round trips are otherwise unrealistically instant); the concurrency
+    benchmark uses it to model WAN clients. A ``KIND_ERROR`` reply at
+    any point raises :class:`ServerError` with the server's code.
+
+    Example::
+
+        result = request_classification("127.0.0.1", port, row=[3, 1],
+                                        seed=11)
+        print(result.label, result.server_trace["total_bytes"])
     """
     delay = config.backoff_seconds
     last_error: Optional[Exception] = None
@@ -628,10 +664,19 @@ def request_classification(
                 stats["frames"] += 1
                 stats["bytes_received"] += wire.FRAME_OVERHEAD + len(body)
                 payload = codec.decode(body)
+                if pace_seconds > 0.0:
+                    time.sleep(pace_seconds)
                 stats["bytes_sent"] += wire.send_frame(
                     sock, wire.KIND_MSG, wire.encode(payload)
                 )
                 continue
+            if kind == wire.KIND_ERROR:
+                report = wire.WireCodec().decode(body)
+                raise ServerError(
+                    code=str(report.get("code", "internal")),
+                    message=str(report.get("message", "")),
+                    request_id=str(report.get("request_id", "")),
+                )
             if kind == wire.KIND_RESULT:
                 result = wire.WireCodec().decode(body)
                 return ClassificationResult(

@@ -97,6 +97,7 @@ KIND_RESULT = 0x04     # classification result (label + trace summary)
 KIND_STATS = 0x05      # byte-accounting stats request / reply
 KIND_CLOSE = 0x06      # end of session (connection may be reused)
 KIND_SHUTDOWN = 0x07   # stop serving entirely
+KIND_ERROR = 0x08      # server-side failure report (code, message, id)
 
 _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
@@ -416,6 +417,24 @@ def codec_from_keyring(payload: dict) -> WireCodec:
         spec = payload["gm"]
         gm = GMPublicKey(n=int(spec["n"]), pseudo_residue=int(spec["x"]))
     return WireCodec(paillier=paillier, dgk=dgk, gm=gm)
+
+
+def error_payload(code: str, message: str, request_id: str = "") -> dict:
+    """The body of a ``KIND_ERROR`` frame.
+
+    ``code`` is a short machine-readable reason (``"overloaded"``,
+    ``"bad-request"``, ``"deadline"``, ``"internal"``), ``message`` a
+    sanitized human-readable sentence (never a raw traceback or secret
+    material), ``request_id`` the server-assigned id of the failed
+    request. Both the concurrent serving runtime
+    (:mod:`repro.serving`) and the client
+    (:func:`repro.smc.transport.request_classification`) use this shape.
+    """
+    return {
+        "code": str(code),
+        "message": str(message),
+        "request_id": str(request_id),
+    }
 
 
 def codec_for_context(ctx) -> WireCodec:

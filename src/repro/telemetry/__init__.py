@@ -1,10 +1,11 @@
 """repro.telemetry -- spans, counters and per-request metrics.
 
 The observability backbone of the reproduction: hierarchical spans with
-monotonic timings over every protocol entry point, typed counters and
-histograms for the crypto hot paths (Paillier ops, DGK comparisons,
-precompute pool hits/misses, wire bytes by codec tag, transport
-retries), a thread/process-safe registry with snapshot/merge so the
+monotonic timings over every protocol entry point, typed counters,
+gauges and histograms for the crypto hot paths and the serving runtime
+(Paillier ops, DGK comparisons, precompute pool hits/misses, wire bytes
+by codec tag, transport retries, serve queue depth/wait),
+a thread/process-safe registry with snapshot/merge so the
 process-pool engine's workers and served requests report back, and
 JSON/text exporters behind ``--metrics`` and ``python -m repro
 metrics``.
@@ -44,6 +45,7 @@ from repro.telemetry.registry import (
     count,
     current_span,
     enabled,
+    gauge,
     get_registry,
     merge_snapshot,
     observe,
@@ -61,6 +63,7 @@ __all__ = [
     "count",
     "current_span",
     "enabled",
+    "gauge",
     "get_registry",
     "load_metrics",
     "merge_snapshot",

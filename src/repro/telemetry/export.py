@@ -57,6 +57,14 @@ def render_text(snapshot: Dict[str, Any]) -> str:
             value = counters[name]
             rendered = f"{value:g}" if isinstance(value, float) else str(value)
             lines.append(f"  {name:<{width}}  {rendered}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            value = gauges[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}}  {rendered}")
     histograms = snapshot.get("histograms", {})
     if histograms:
         lines.append("histograms:")
@@ -139,6 +147,15 @@ def validate_metrics(document: Any) -> List[str]:
                 if not isinstance(hist.get(key), (int, float)) or \
                         isinstance(hist.get(key), bool):
                     errors.append(f"histogram {name!r} missing numeric {key!r}")
+    gauges = document.get("gauges")
+    if gauges is not None:  # optional: pre-gauge documents stay valid
+        if not isinstance(gauges, dict):
+            errors.append("gauges must be an object")
+        else:
+            for name, value in gauges.items():
+                if not isinstance(value, (int, float)) or \
+                        isinstance(value, bool):
+                    errors.append(f"gauge {name!r} must be a number")
     spans = document.get("spans")
     if not isinstance(spans, list):
         errors.append("spans must be an array")

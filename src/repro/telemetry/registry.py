@@ -100,6 +100,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, float] = {}
         self._histograms: Dict[str, Dict[str, float]] = {}
+        self._gauges: Dict[str, float] = {}
         self._roots: List[SpanRecord] = []
 
     # -- recording ------------------------------------------------------
@@ -108,6 +109,16 @@ class MetricsRegistry:
         """Add ``value`` to the counter ``name`` (created at zero)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its current ``value``.
+
+        Gauges are *set*, not accumulated -- they report an
+        instantaneous level (e.g. ``serve.queue_depth``). Merging folds
+        by maximum, so a merged document reads as the high-water mark.
+        """
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the histogram ``name``."""
@@ -140,6 +151,7 @@ class MetricsRegistry:
                     name: dict(hist)
                     for name, hist in self._histograms.items()
                 },
+                "gauges": dict(self._gauges),
                 "spans": [root.to_dict() for root in self._roots],
             }
 
@@ -163,6 +175,12 @@ class MetricsRegistry:
                     mine["sum"] += hist["sum"]
                     mine["min"] = min(mine["min"], hist["min"])
                     mine["max"] = max(mine["max"], hist["max"])
+        for name, value in snapshot.get("gauges", {}).items():
+            with self._lock:
+                mine = self._gauges.get(name)
+                self._gauges[name] = (
+                    value if mine is None else max(mine, value)
+                )
         for span in snapshot.get("spans", []):
             self.add_root(SpanRecord.from_dict(span))
 
@@ -171,6 +189,7 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._histograms.clear()
+            self._gauges.clear()
             self._roots.clear()
 
 
@@ -216,6 +235,13 @@ def observe(name: str, value: float) -> None:
     if not _enabled:
         return
     _registry.observe(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Global gauge set; no-op while disabled."""
+    if not _enabled:
+        return
+    _registry.gauge(name, value)
 
 
 def snapshot() -> Dict[str, Any]:
@@ -312,13 +338,23 @@ class _LiveSpan:
 
 
 def span(name: str, **attributes: Any):
-    """Open a span: ``with span("dgk.compare", bits=16): ...``.
+    """Open a telemetry span timing one named unit of work.
 
     While telemetry is disabled this returns a shared no-op context
     manager -- no allocation, no clock reads, no registry traffic.
     While enabled, the span times itself with the monotonic clock,
     nests under the innermost open span of the current thread/task, and
-    lands in the registry when the outermost span closes.
+    lands in the registry when the outermost span closes. The yielded
+    record takes structured attributes via ``set``/``add``; an
+    exception escaping the block marks the span with an ``error``
+    attribute before propagating.
+
+    Example::
+
+        telemetry.configure(True)
+        with telemetry.span("pipeline.classify", row=3) as record:
+            label = pipeline.classify(row, ctx=ctx)
+            record.set("label", int(label))
     """
     if not _enabled:
         return _NOOP_SPAN

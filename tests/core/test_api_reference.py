@@ -1,0 +1,52 @@
+"""The README's "Public API" table stays in sync with repro.api.
+
+Two invariants:
+
+* the table between the ``BEGIN PUBLIC API`` / ``END PUBLIC API``
+  markers lists exactly ``sorted(repro.api.__all__)`` — adding an
+  export without documenting it (or documenting a ghost) fails here;
+* every exported name carries a real docstring: a substantial
+  paragraph plus a runnable example block, so ``help(repro.api.X)``
+  is always useful.
+"""
+
+import os
+import re
+
+import repro.api as api
+
+README = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "README.md")
+)
+_ROW = re.compile(r"^\|\s*`([A-Za-z_][A-Za-z0-9_]*)`\s*\|")
+
+
+def _readme_table_names():
+    with open(README, encoding="utf-8") as handle:
+        text = handle.read()
+    start = text.index("<!-- BEGIN PUBLIC API -->")
+    end = text.index("<!-- END PUBLIC API -->")
+    section = text[start:end]
+    return [match.group(1) for line in section.splitlines()
+            if (match := _ROW.match(line.strip()))]
+
+
+def test_readme_table_matches_api_all():
+    names = _readme_table_names()
+    assert names == sorted(set(names)), "table must be sorted, no dupes"
+    assert names == sorted(api.__all__)
+
+
+def test_every_export_has_a_substantial_docstring_with_example():
+    for name in api.__all__:
+        doc = getattr(api, name).__doc__
+        assert doc and len(doc.strip()) >= 200, (
+            f"repro.api.{name} needs a real docstring, not a stub"
+        )
+        assert "::" in doc or ">>>" in doc, (
+            f"repro.api.{name}'s docstring needs a runnable example"
+        )
+
+
+def test_dir_matches_all():
+    assert dir(api) == sorted(api.__all__)

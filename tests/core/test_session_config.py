@@ -32,6 +32,9 @@ class TestValidation:
         ("statistical_security_bits", 0),
         ("engine_workers", 0),
         ("transport_retries", -1),
+        ("max_workers", 0),
+        ("queue_depth", -1),
+        ("request_timeout_s", 0.0),
     ])
     def test_bad_values_rejected(self, field, value):
         with pytest.raises(ReproError):
@@ -71,6 +74,16 @@ class TestFromArgs:
         config = SessionConfig.from_args(argparse.Namespace(seed=1))
         assert config.engine_backend == "serial"
         assert config.telemetry is False
+
+    def test_reads_serving_flags(self):
+        args = argparse.Namespace(seed=0, queue_depth=2,
+                                  request_timeout=1.5)
+        config = SessionConfig.from_args(args)
+        assert config.queue_depth == 2
+        assert config.request_timeout_s == 1.5
+        # --workers means engine workers; the serve command sets the
+        # handler-pool size (max_workers) explicitly.
+        assert config.max_workers == 4
 
     def test_extra_overrides_win(self):
         args = argparse.Namespace(seed=1, engine="serial")

@@ -1,0 +1,263 @@
+"""The concurrent serving runtime: isolation, shedding, drain, deadlines.
+
+The server runs on an in-process thread here (not a child process as in
+``tests/integration/test_tcp_serving.py``) so the tests can reach into
+it directly: assert the shared ``DeployedClassifier`` is never mutated,
+that the accept loop survives a crashing request, and that shutdown
+drains in-flight work.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.serialization import deployment_from_dict, deployment_to_dict
+from repro.core.session import SessionConfig
+from repro.serving import ClassificationServer
+from repro.smc import wire
+from repro.smc.context import make_context
+from repro.smc.transport import (
+    ServerError,
+    TransportConfig,
+    request_classification,
+)
+
+_BASE_SEED = 4200
+_BITS = {"paillier_bits": 384, "dgk_bits": 192}
+
+
+@pytest.fixture(scope="module")
+def deployed(warfarin_split):
+    from repro.api import PipelineConfig, PrivacyAwareClassifier
+
+    train, _ = warfarin_split
+    pipeline = PrivacyAwareClassifier(
+        PipelineConfig(classifier="naive_bayes", risk_sample_rows=100,
+                       **_BITS)
+    ).fit(train)
+    pipeline.select_disclosure(0.1)
+    return deployment_from_dict(deployment_to_dict(pipeline))
+
+
+@pytest.fixture(scope="module")
+def rows(warfarin_split):
+    _, test = warfarin_split
+    return [[int(v) for v in row] for row in test.X[:8]]
+
+
+def start_server(deployed, **config_overrides):
+    """An in-process server on an ephemeral port; caller must stop it."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    server = ClassificationServer(
+        deployed, listener, config=SessionConfig(**config_overrides)
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread, port
+
+
+def stop_server(server, thread):
+    server.shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def replay_label(deployed, row, seed, disclosure=None):
+    """Deterministic in-process replay of one served query."""
+    ctx = make_context(config=SessionConfig(seed=seed, **_BITS))
+    return deployed.classify(ctx, row, disclosure=disclosure), ctx
+
+
+def test_concurrent_requests_no_disclosure_bleed(deployed, rows):
+    """N paced clients with distinct seeds AND distinct disclosure
+    overrides: every label and transcript must match its own replay, and
+    the shared model's policy must be untouched."""
+    shipped = list(deployed.disclosure)
+    assert shipped, "fixture bundle should disclose something"
+    overrides = [None, [], shipped[:1], shipped]
+    server, thread, port = start_server(deployed, max_workers=4)
+    results = {}
+    errors = []
+
+    def client(i):
+        try:
+            results[i] = request_classification(
+                "127.0.0.1", port, rows[i], seed=_BASE_SEED + i,
+                disclosure=overrides[i], pace_seconds=0.01,
+            )
+        except Exception as error:  # surfaced by the main thread
+            errors.append((i, error))
+
+    try:
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(len(overrides))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+    finally:
+        stop_server(server, thread)
+    assert not errors
+    assert sorted(results) == list(range(len(overrides)))
+    # The transcript depends on seed AND effective disclosure set, so a
+    # single leaked index from a concurrent request would break both the
+    # label equality and the trace equality below.
+    for i, override in enumerate(overrides):
+        expected, ctx = replay_label(
+            deployed, rows[i], _BASE_SEED + i, disclosure=override
+        )
+        assert results[i].label == expected
+        served = dict(results[i].server_trace)
+        replayed = ctx.trace.summary()
+        served.pop("wall_seconds"), replayed.pop("wall_seconds")
+        assert served == replayed
+    assert deployed.disclosure == shipped  # never mutated
+
+
+def test_crashing_request_leaves_server_serving(deployed, rows):
+    """A row of the wrong arity crashes the handler mid-protocol; the
+    client gets a sanitized KIND_ERROR and the next request succeeds."""
+    server, thread, port = start_server(deployed, max_workers=2)
+    try:
+        with pytest.raises(ServerError) as excinfo:
+            request_classification(
+                "127.0.0.1", port, rows[0][:2], seed=_BASE_SEED
+            )
+        assert excinfo.value.code == "internal"
+        # Sanitized: class name only, never the exception's own text.
+        assert "/" not in excinfo.value.message
+        assert thread.is_alive()
+
+        result = request_classification(
+            "127.0.0.1", port, rows[0], seed=_BASE_SEED
+        )
+        expected, _ = replay_label(deployed, rows[0], _BASE_SEED)
+        assert result.label == expected
+    finally:
+        stop_server(server, thread)
+
+
+def test_malformed_request_gets_bad_request_error(deployed):
+    server, thread, port = start_server(deployed)
+    try:
+        with pytest.raises(ServerError) as excinfo:
+            request_classification("127.0.0.1", port, [], seed=_BASE_SEED)
+        assert excinfo.value.code == "bad-request"
+        assert excinfo.value.request_id.startswith("req-")
+        assert thread.is_alive()
+    finally:
+        stop_server(server, thread)
+
+
+def test_overload_sheds_with_overloaded_error(deployed, rows):
+    """With one worker and no queue, a second concurrent request is
+    answered with an 'overloaded' error instead of waiting."""
+    server, thread, port = start_server(
+        deployed, max_workers=1, queue_depth=0
+    )
+    slow_done = threading.Event()
+    slow_result = {}
+
+    def slow_client():
+        slow_result["r"] = request_classification(
+            "127.0.0.1", port, rows[0], seed=_BASE_SEED, pace_seconds=0.2
+        )
+        slow_done.set()
+
+    slow = threading.Thread(target=slow_client)
+    try:
+        slow.start()
+        # Wait until the slow request holds the only worker slot.
+        deadline = threading.Event()
+        for _ in range(200):
+            if server._admitted >= 1:
+                break
+            deadline.wait(0.01)
+        assert server._admitted >= 1
+        with pytest.raises(ServerError) as excinfo:
+            request_classification(
+                "127.0.0.1", port, rows[1], seed=_BASE_SEED + 1,
+                config=TransportConfig(retries=0),
+            )
+        assert excinfo.value.code == "overloaded"
+        # The shed request never cost a key generation or a classify:
+        # the slow one still completes correctly afterwards.
+        assert slow_done.wait(timeout=120)
+        expected, _ = replay_label(deployed, rows[0], _BASE_SEED)
+        assert slow_result["r"].label == expected
+    finally:
+        slow.join(timeout=120)
+        stop_server(server, thread)
+
+
+def test_shutdown_drains_in_flight_request(deployed, rows):
+    """shutdown() during a request stops the accept loop but lets the
+    request finish; serve_forever returns only after the drain."""
+    server, thread, port = start_server(deployed, max_workers=2)
+    result = {}
+
+    def client():
+        result["r"] = request_classification(
+            "127.0.0.1", port, rows[0], seed=_BASE_SEED, pace_seconds=0.05
+        )
+
+    worker = threading.Thread(target=client)
+    worker.start()
+    for _ in range(200):
+        if server._admitted >= 1:
+            break
+        threading.Event().wait(0.01)
+    assert server._admitted >= 1
+    server.shutdown()
+    worker.join(timeout=120)
+    thread.join(timeout=120)
+    assert not thread.is_alive()
+    assert server.wait_drained(timeout=1)
+    expected, _ = replay_label(deployed, rows[0], _BASE_SEED)
+    assert result["r"].label == expected
+    # New connections are refused after shutdown.
+    with pytest.raises(Exception):
+        request_classification(
+            "127.0.0.1", port, rows[0], seed=_BASE_SEED,
+            config=TransportConfig(retries=0, connect_timeout=1.0),
+        )
+
+
+def test_deadline_reports_deadline_error(deployed, rows):
+    """A client that stalls past request_timeout_s gets a KIND_ERROR
+    with code 'deadline' (read with a raw socket: a stalled mirror loop
+    is exactly the failure mode the deadline exists for)."""
+    server, thread, port = start_server(
+        deployed, max_workers=1, request_timeout_s=0.5
+    )
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            s.settimeout(30)
+            request = {"row": rows[0], "seed": _BASE_SEED, "disclosure": None}
+            wire.send_frame(s, wire.KIND_REQUEST, wire.encode(request))
+            seen = []
+            while True:
+                kind, body = wire.recv_frame(s)
+                seen.append(kind)
+                if kind == wire.KIND_ERROR:
+                    break
+                assert kind in (wire.KIND_KEYS, wire.KIND_MSG)
+            report = wire.WireCodec().decode(body)
+        assert report["code"] == "deadline"
+        assert wire.KIND_MSG in seen  # the protocol had actually started
+        assert thread.is_alive()  # deadline killed the request, not us
+    finally:
+        stop_server(server, thread)
+
+
+def test_shutdown_frame_stops_the_server(deployed):
+    """A KIND_SHUTDOWN first frame triggers graceful shutdown (the
+    compat path used by TcpTransport.close(shutdown_peer=True))."""
+    server, thread, port = start_server(deployed)
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+        wire.send_frame(s, wire.KIND_SHUTDOWN, wire.encode(None))
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert server.wait_drained(timeout=1)

@@ -126,3 +126,21 @@ class TestValidation:
         doc = _sample_snapshot()
         doc["spans"][0]["children"][0]["name"] = ""
         assert any("children[0].name" in e for e in validate_metrics(doc))
+
+
+class TestGaugesInExport:
+    def test_render_text_shows_gauges(self, telemetry_on):
+        telemetry.gauge("serve.queue_depth", 2)
+        text = render_text(telemetry.snapshot())
+        assert "gauges:" in text
+        assert "serve.queue_depth" in text
+
+    def test_validate_accepts_document_without_gauges(self):
+        doc = {"schema": "repro.telemetry/v1", "counters": {},
+               "histograms": {}, "spans": []}
+        assert validate_metrics(doc) == []
+
+    def test_validate_rejects_boolean_gauge(self):
+        doc = {"schema": "repro.telemetry/v1", "counters": {},
+               "histograms": {}, "gauges": {"flag": True}, "spans": []}
+        assert any("flag" in e for e in validate_metrics(doc))

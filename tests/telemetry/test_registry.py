@@ -157,3 +157,33 @@ class TestSnapshotAndMerge:
         telemetry.configure(True, reset=True)
         snap = telemetry.snapshot()
         assert snap["counters"] == {} and snap["spans"] == []
+
+
+class TestGauges:
+    def test_gauge_is_noop_while_disabled(self, telemetry_off):
+        telemetry.gauge("serve.queue_depth", 3)
+        assert telemetry.snapshot()["gauges"] == {}
+
+    def test_gauge_sets_not_accumulates(self, telemetry_on):
+        telemetry.gauge("serve.queue_depth", 3)
+        telemetry.gauge("serve.queue_depth", 1)
+        assert telemetry.snapshot()["gauges"]["serve.queue_depth"] == 1
+
+    def test_merge_folds_gauges_by_maximum(self):
+        worker = MetricsRegistry()
+        worker.gauge("serve.queue_peak", 7)
+        worker.gauge("only.worker", 2)
+
+        parent = MetricsRegistry()
+        parent.gauge("serve.queue_peak", 4)
+        parent.merge(worker.snapshot())
+        parent.merge({"gauges": {"serve.queue_peak": 5}})
+
+        snap = parent.snapshot()
+        assert snap["gauges"]["serve.queue_peak"] == 7  # high-water
+        assert snap["gauges"]["only.worker"] == 2
+
+    def test_reset_clears_gauges(self, telemetry_on):
+        telemetry.gauge("g", 9)
+        telemetry.configure(True, reset=True)
+        assert telemetry.snapshot()["gauges"] == {}

@@ -47,6 +47,7 @@ from repro.api import (
 from repro.bench import Table
 from repro.cliutil import add_format_argument, add_metrics_argument, emit
 from repro.core.session import (
+    CRYPTO_BACKENDS,
     ENGINE_BACKENDS,
     RNG_MODES,
     TRANSPORT_BACKENDS,
@@ -139,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine-workers", type=int, default=None,
                        help="worker processes for --engine parallel "
                             "(default: CPU count)")
+    serve.add_argument("--crypto-backend", choices=CRYPTO_BACKENDS,
+                       default=None, dest="crypto_backend",
+                       help="bignum kernel for modular exponentiation "
+                            "(default auto: use gmpy2 when installed, "
+                            "else pure Python; see docs/PERFORMANCE.md)")
     add_format_argument(serve)
     add_metrics_argument(serve)
 
@@ -185,6 +191,11 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--workers", type=int, default=None,
                      help="worker processes for --engine parallel "
                           "(default: CPU count)")
+    sub.add_argument("--crypto-backend", choices=CRYPTO_BACKENDS,
+                     default=None, dest="crypto_backend",
+                     help="bignum kernel for modular exponentiation "
+                          "(default auto: use gmpy2 when installed, else "
+                          "pure Python; bit-identical either way)")
     sub.add_argument("--rng-mode", choices=RNG_MODES, default=None,
                      help="randomness mode for the live session "
                           "(default deterministic)")
@@ -251,6 +262,7 @@ def _fitted_pipeline(args: argparse.Namespace) -> tuple:
             classifier=args.classifier, paillier_bits=384, dgk_bits=192,
             engine_backend=session.engine_backend,
             engine_workers=session.engine_workers,
+            crypto_backend=session.crypto_backend,
             seed=args.seed,
             session=session,
         )
@@ -399,6 +411,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         engine_backend=args.engine,
         engine_workers=args.engine_workers,
+        crypto_backend=args.crypto_backend or "auto",
     )
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)

@@ -28,6 +28,7 @@ import numpy as np
 import repro.telemetry as telemetry
 from repro.classifiers.decision_tree import DecisionTreeClassifier
 from repro.crypto.engine import BACKENDS as ENGINE_BACKENDS
+from repro.crypto.modexp import MODEXP_BACKENDS as CRYPTO_BACKENDS
 from repro.classifiers.linear import LogisticRegressionClassifier
 from repro.classifiers.naive_bayes import NaiveBayesClassifier
 from repro.core.exceptions import ReproError
@@ -96,6 +97,11 @@ class PipelineConfig:
         across ``engine_workers`` processes, defaulting to the CPU
         count). The backend changes wall-clock speed only -- transcripts,
         ciphertexts and traces are identical.
+    crypto_backend:
+        Bignum kernel for modular exponentiation in live contexts:
+        ``"auto"`` (probe for gmpy2, fall back to pure Python),
+        ``"python"`` or ``"gmpy2"``. Bit-for-bit identical across
+        backends; wall-clock only.
     seed:
         Master seed for sampling and key generation.
     session:
@@ -128,6 +134,7 @@ class PipelineConfig:
     dgk_plaintext_bits: int = 16
     engine_backend: str = "serial"
     engine_workers: Optional[int] = None
+    crypto_backend: str = "auto"
     tree_max_depth: int = 6
     linear_iterations: int = 300
     seed: int = 0
@@ -149,6 +156,11 @@ class PipelineConfig:
                 f"unknown engine backend {self.engine_backend!r}; "
                 f"expected one of {ENGINE_BACKENDS}"
             )
+        if self.crypto_backend not in CRYPTO_BACKENDS:
+            raise ReproError(
+                f"unknown crypto backend {self.crypto_backend!r}; "
+                f"expected one of {CRYPTO_BACKENDS}"
+            )
 
     def session_config(self) -> SessionConfig:
         """The session configuration for live crypto contexts.
@@ -165,6 +177,7 @@ class PipelineConfig:
             dgk_plaintext_bits=self.dgk_plaintext_bits,
             engine_backend=self.engine_backend,
             engine_workers=self.engine_workers,
+            crypto_backend=self.crypto_backend,
         )
 
 

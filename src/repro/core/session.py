@@ -25,6 +25,10 @@ from repro.core.exceptions import ReproError
 #: asserts the two stay in sync).
 ENGINE_BACKENDS = ("serial", "parallel")
 
+#: Bignum (modular-exponentiation) backends, mirrored from
+#: :data:`repro.crypto.modexp.MODEXP_BACKENDS` (same sync test).
+CRYPTO_BACKENDS = ("auto", "python", "gmpy2")
+
 #: Transport backends, mirrored from
 #: :data:`repro.smc.transport.TRANSPORT_BACKENDS` (same sync test).
 TRANSPORT_BACKENDS = ("inproc", "tcp")
@@ -51,6 +55,13 @@ class SessionConfig:
     engine_backend / engine_workers:
         Batch crypto execution backend (``"serial"`` or ``"parallel"``)
         and its process count (``None`` = CPU count).
+    crypto_backend:
+        Bignum kernel for the modular exponentiations: ``"auto"``
+        (default; probes for ``gmpy2`` and falls back to pure Python),
+        ``"python"`` (the canonical built-in ``pow``) or ``"gmpy2"``
+        (GMP; raises if the optional package is missing). All backends
+        are bit-for-bit identical -- this is a wall-clock knob only.
+        See ``docs/PERFORMANCE.md``.
     transport_backend:
         Wire backend for live protocol runs: ``"inproc"`` round-trips
         every message through the canonical codec in-process, ``"tcp"``
@@ -88,6 +99,7 @@ class SessionConfig:
     statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS
     engine_backend: str = "serial"
     engine_workers: Optional[int] = None
+    crypto_backend: str = "auto"
     transport_backend: str = "inproc"
     connect_timeout: float = 5.0
     io_timeout: float = 30.0
@@ -104,6 +116,11 @@ class SessionConfig:
             raise ReproError(
                 f"unknown engine backend {self.engine_backend!r}; "
                 f"expected one of {ENGINE_BACKENDS}"
+            )
+        if self.crypto_backend not in CRYPTO_BACKENDS:
+            raise ReproError(
+                f"unknown crypto backend {self.crypto_backend!r}; "
+                f"expected one of {CRYPTO_BACKENDS}"
             )
         if self.transport_backend not in TRANSPORT_BACKENDS:
             raise ReproError(
@@ -148,16 +165,17 @@ class SessionConfig:
         """Build a config from a parsed CLI namespace.
 
         Reads whichever of ``--seed``, ``--engine``, ``--workers``,
-        ``--transport``, ``--rng-mode``, ``--metrics``,
-        ``--queue-depth`` and ``--request-timeout`` the subcommand
-        defined; anything absent keeps its default. ``extra`` overrides
-        both.
+        ``--crypto-backend``, ``--transport``, ``--rng-mode``,
+        ``--metrics``, ``--queue-depth`` and ``--request-timeout`` the
+        subcommand defined; anything absent keeps its default.
+        ``extra`` overrides both.
         """
         values = {}
         for field_name, arg_name in (
             ("seed", "seed"),
             ("engine_backend", "engine"),
             ("engine_workers", "workers"),
+            ("crypto_backend", "crypto_backend"),
             ("transport_backend", "transport"),
             ("rng_mode", "rng_mode"),
             ("queue_depth", "queue_depth"),

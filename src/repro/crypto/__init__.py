@@ -10,6 +10,11 @@ arbitrary-precision integers. The package provides:
 * :mod:`repro.crypto.paillier` -- the Paillier additively homomorphic
   cryptosystem (the workhorse of Bost-style secure classifiers), with
   CRT-accelerated decryption.
+* :mod:`repro.crypto.modexp` -- the pluggable bignum kernel behind
+  every modular exponentiation: the canonical built-in ``pow``, an
+  optional ``gmpy2`` (GMP) backend, fixed-base windowed
+  exponentiation tables and CRT-split powmod. All backends are
+  bit-for-bit interchangeable.
 * :mod:`repro.crypto.engine` -- the batch crypto engine: serial or
   process-pool execution of bulk encrypt/decrypt/scalar-mul/
   re-randomise work and fused multi-exponentiation dot products.
@@ -40,6 +45,14 @@ from repro.crypto.engine import (
     make_engine,
 )
 from repro.crypto.gm import GMCiphertext, GMKeyPair, GMPrivateKey, GMPublicKey
+from repro.crypto.modexp import (
+    MODEXP_BACKENDS,
+    CrtPowmod,
+    FixedBaseWindow,
+    gmpy2_available,
+    powmod,
+    resolve_backend,
+)
 from repro.crypto.ot import ObliviousTransferReceiver, ObliviousTransferSender
 from repro.crypto.paillier import (
     PaillierCiphertext,
@@ -57,16 +70,19 @@ from repro.crypto.secret_sharing import (
 __all__ = [
     "AdditiveSecretSharer",
     "BeaverTriple",
+    "CrtPowmod",
     "CryptoEngine",
     "DeterministicRandom",
     "DgkCiphertext",
     "DgkKeyPair",
     "DgkPrivateKey",
     "DgkPublicKey",
+    "FixedBaseWindow",
     "GMCiphertext",
     "GMKeyPair",
     "GMPrivateKey",
     "GMPublicKey",
+    "MODEXP_BACKENDS",
     "ObliviousTransferReceiver",
     "ObliviousTransferSender",
     "PaillierCiphertext",
@@ -79,5 +95,8 @@ __all__ = [
     "ShamirSecretSharer",
     "TrustedDealer",
     "default_rng",
+    "gmpy2_available",
     "make_engine",
+    "powmod",
+    "resolve_backend",
 ]

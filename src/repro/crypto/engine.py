@@ -22,6 +22,22 @@ ever evaluate deterministic modular arithmetic, so the serial and
 parallel backends produce byte-identical ciphertexts under a fixed
 seed -- the property the parity tests pin down.
 
+The big-integer kernel itself is pluggable (:mod:`repro.crypto.modexp`):
+every execution backend carries a *modexp backend* -- pure-Python
+``pow`` (canonical) or GMP via ``gmpy2`` when available -- selected by
+name through :func:`make_engine`, ``SessionConfig.crypto_backend`` or
+``--crypto-backend``. Modexp backends are bit-for-bit interchangeable,
+so this is a wall-clock knob only; worker processes resolve the backend
+by name on their side of the pickle boundary.
+
+An engine can also *drain a precompute pool*
+(:meth:`CryptoEngine.attach_pool`): when a
+:class:`~repro.crypto.precompute.PrecomputedEncryptionPool` for the
+target key is attached, :meth:`CryptoEngine.encrypt_batch` and
+:meth:`CryptoEngine.rerandomize_batch` consume its ready blinding
+factors -- two modular multiplications per ciphertext online -- and only
+fall back to full exponentiations for whatever the pool cannot cover.
+
 The fused :meth:`CryptoEngine.dot_product` evaluates
 ``prod_i c_i^{w_i} mod n^2`` with *simultaneous multi-exponentiation*
 (interleaved binary / Straus): one shared chain of squarings over the
@@ -38,9 +54,22 @@ import atexit
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import repro.telemetry as telemetry
+from repro.crypto.modexp import (
+    ModexpBackend,
+    get_default_backend,
+    resolve_backend,
+)
 from repro.crypto.numtheory import modinv
 from repro.crypto.paillier import (
     PaillierCiphertext,
@@ -49,6 +78,9 @@ from repro.crypto.paillier import (
     PaillierPublicKey,
 )
 from repro.crypto.rand import DeterministicRandom, default_rng
+
+if TYPE_CHECKING:  # avoids a circular import at runtime
+    from repro.crypto.precompute import PrecomputedEncryptionPool
 
 PowJob = Tuple[int, int, int]  # (base, exponent, modulus)
 
@@ -60,19 +92,27 @@ class EngineError(Exception):
 # -- worker kernels (module level so they pickle under 'fork'/'spawn') ------
 
 
-def _pow_chunk(jobs: Sequence[PowJob]) -> List[int]:
-    """Evaluate a chunk of independent modular exponentiations."""
-    return [pow(base, exponent, modulus) for base, exponent, modulus in jobs]
+def _pow_chunk(jobs: Sequence[PowJob], modexp: str = "python") -> List[int]:
+    """Evaluate a chunk of independent modular exponentiations.
+
+    ``modexp`` names the bignum backend (worker processes resolve it on
+    their side; names pickle, backend instances need not).
+    """
+    powmod = resolve_backend(modexp).powmod
+    return [powmod(base, exponent, modulus)
+            for base, exponent, modulus in jobs]
 
 
 def _multiexp(bases: Sequence[int], exponents: Sequence[int],
-              modulus: int) -> int:
+              modulus: int, modexp: str = "python") -> int:
     """``prod_i bases[i]^exponents[i] mod modulus`` by interleaved
     binary multi-exponentiation.
 
     All exponents must be non-negative. One squaring chain of
     ``max(bit_length)`` steps is shared across every base; each base
-    contributes one multiplication per set bit of its exponent.
+    contributes one multiplication per set bit of its exponent. The
+    accumulator and bases live in the bignum backend's native integer
+    type, so a GMP backend multiplies without per-step conversions.
     """
     max_bits = 0
     for exponent in exponents:
@@ -80,21 +120,28 @@ def _multiexp(bases: Sequence[int], exponents: Sequence[int],
             raise EngineError("multi-exponentiation needs non-negative exponents")
         if exponent.bit_length() > max_bits:
             max_bits = exponent.bit_length()
-    accumulator = 1
+    backend = resolve_backend(modexp)
+    mod = backend.wrap(modulus)
+    wrapped = [backend.wrap(base) for base in bases]
+    accumulator = backend.wrap(1)
     for bit in range(max_bits - 1, -1, -1):
-        accumulator = accumulator * accumulator % modulus
-        for base, exponent in zip(bases, exponents):
+        accumulator = accumulator * accumulator % mod
+        for base, exponent in zip(wrapped, exponents):
             if (exponent >> bit) & 1:
-                accumulator = accumulator * base % modulus
-    return accumulator
+                accumulator = accumulator * base % mod
+    return backend.unwrap(accumulator)
 
 
-def _multiexp_chunk(args: Tuple[Sequence[int], Sequence[int], int]) -> int:
-    bases, exponents, modulus = args
-    return _multiexp(bases, exponents, modulus)
+def _multiexp_chunk(
+    args: Tuple[Sequence[int], Sequence[int], int, str]
+) -> int:
+    bases, exponents, modulus, modexp = args
+    return _multiexp(bases, exponents, modulus, modexp)
 
 
-def _pow_chunk_metered(jobs: Sequence[PowJob]) -> Tuple[List[int], dict]:
+def _pow_chunk_metered(
+    jobs: Sequence[PowJob], modexp: str = "python"
+) -> Tuple[List[int], dict]:
     """Like :func:`_pow_chunk`, but also returns a telemetry snapshot.
 
     Worker processes never share the parent's registry (and may not even
@@ -105,7 +152,7 @@ def _pow_chunk_metered(jobs: Sequence[PowJob]) -> Tuple[List[int], dict]:
     """
     registry = telemetry.MetricsRegistry()
     start = time.perf_counter()
-    results = _pow_chunk(jobs)
+    results = _pow_chunk(jobs, modexp)
     registry.count("engine.worker.pow_jobs", len(jobs))
     registry.observe(
         "engine.worker.chunk_seconds", time.perf_counter() - start
@@ -114,7 +161,7 @@ def _pow_chunk_metered(jobs: Sequence[PowJob]) -> Tuple[List[int], dict]:
 
 
 def _multiexp_chunk_metered(
-    args: Tuple[Sequence[int], Sequence[int], int]
+    args: Tuple[Sequence[int], Sequence[int], int, str]
 ) -> Tuple[int, dict]:
     """Metered variant of :func:`_multiexp_chunk` (see above)."""
     registry = telemetry.MetricsRegistry()
@@ -151,12 +198,21 @@ class SerialBackend:
     name = "serial"
     workers = 1
 
+    def __init__(
+        self, modexp: Union[str, ModexpBackend, None] = None
+    ) -> None:
+        self.modexp = resolve_backend(modexp or get_default_backend())
+
+    @property
+    def modexp_name(self) -> str:
+        return self.modexp.name
+
     def map_pow(self, jobs: Sequence[PowJob]) -> List[int]:
         """Evaluate independent modular exponentiations, in order."""
         if telemetry.enabled():
             telemetry.count("engine.pow_jobs", len(jobs))
             telemetry.count("engine.inline_chunks")
-        return _pow_chunk(jobs)
+        return _pow_chunk(jobs, self.modexp_name)
 
     def multiexp(self, bases: Sequence[int], exponents: Sequence[int],
                  modulus: int) -> int:
@@ -164,7 +220,7 @@ class SerialBackend:
         if telemetry.enabled():
             telemetry.count("engine.multiexp_calls")
             telemetry.count("engine.multiexp_bases", len(bases))
-        return _multiexp(bases, exponents, modulus)
+        return _multiexp(bases, exponents, modulus, self.modexp_name)
 
     def close(self) -> None:
         """No resources to release."""
@@ -185,13 +241,19 @@ class ProcessPoolBackend:
     name = "parallel"
 
     def __init__(self, workers: Optional[int] = None,
-                 min_batch: int = 8) -> None:
+                 min_batch: int = 8,
+                 modexp: Union[str, ModexpBackend, None] = None) -> None:
         resolved = workers if workers is not None else (os.cpu_count() or 1)
         if resolved < 1:
             raise EngineError(f"worker count must be positive, got {resolved}")
         self.workers = resolved
         self.min_batch = min_batch
+        self.modexp = resolve_backend(modexp or get_default_backend())
         self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def modexp_name(self) -> str:
+        return self.modexp.name
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -213,13 +275,14 @@ class ProcessPoolBackend:
         if self.workers == 1 or len(jobs) < self.min_batch:
             if metered:
                 telemetry.count("engine.inline_chunks")
-            return _pow_chunk(jobs)
+            return _pow_chunk(jobs, self.modexp_name)
         chunks = _split_chunks(list(jobs), self.workers)
         results: List[int] = []
         if metered:
             telemetry.count("engine.pool_dispatches")
             futures = [
-                self._pool().submit(_pow_chunk_metered, chunk)
+                self._pool().submit(_pow_chunk_metered, chunk,
+                                    self.modexp_name)
                 for chunk in chunks
             ]
             for future in futures:
@@ -227,7 +290,10 @@ class ProcessPoolBackend:
                 results.extend(chunk_results)
                 telemetry.merge_snapshot(snap)
             return results
-        futures = [self._pool().submit(_pow_chunk, chunk) for chunk in chunks]
+        futures = [
+            self._pool().submit(_pow_chunk, chunk, self.modexp_name)
+            for chunk in chunks
+        ]
         for future in futures:
             results.extend(future.result())
         return results
@@ -242,13 +308,16 @@ class ProcessPoolBackend:
             telemetry.count("engine.multiexp_calls")
             telemetry.count("engine.multiexp_bases", len(bases))
         if self.workers == 1 or len(bases) < self.min_batch:
-            return _multiexp(bases, exponents, modulus)
+            return _multiexp(bases, exponents, modulus, self.modexp_name)
         base_chunks = _split_chunks(list(bases), self.workers)
         exp_chunks = _split_chunks(list(exponents), self.workers)
         if metered:
             telemetry.count("engine.pool_dispatches")
             metered_futures = [
-                self._pool().submit(_multiexp_chunk_metered, (b, e, modulus))
+                self._pool().submit(
+                    _multiexp_chunk_metered,
+                    (b, e, modulus, self.modexp_name),
+                )
                 for b, e in zip(base_chunks, exp_chunks)
             ]
             accumulator = 1
@@ -258,7 +327,9 @@ class ProcessPoolBackend:
                 telemetry.merge_snapshot(snap)
             return accumulator
         futures = [
-            self._pool().submit(_multiexp_chunk, (b, e, modulus))
+            self._pool().submit(
+                _multiexp_chunk, (b, e, modulus, self.modexp_name)
+            )
             for b, e in zip(base_chunks, exp_chunks)
         ]
         accumulator = 1
@@ -277,22 +348,38 @@ BACKENDS = ("serial", "parallel")
 
 
 def make_engine(backend: str = "serial",
-                workers: Optional[int] = None) -> "CryptoEngine":
-    """Build an engine by backend name (``"serial"`` or ``"parallel"``)."""
+                workers: Optional[int] = None,
+                modexp: Union[str, ModexpBackend, None] = None,
+                ) -> "CryptoEngine":
+    """Build an engine by backend name (``"serial"`` or ``"parallel"``).
+
+    ``modexp`` selects the bignum backend by name (``"auto"`` /
+    ``"python"`` / ``"gmpy2"``); ``None`` keeps the process default
+    (itself ``"auto"`` unless overridden). The resolved choice is
+    recorded in telemetry as ``engine.modexp.<name>`` so metrics
+    documents say which kernel produced their numbers.
+    """
     if backend == "serial":
-        return CryptoEngine(SerialBackend())
-    if backend == "parallel":
-        return CryptoEngine(ProcessPoolBackend(workers=workers))
-    raise EngineError(
-        f"unknown engine backend {backend!r}; expected one of {BACKENDS}"
-    )
+        engine = CryptoEngine(SerialBackend(modexp=modexp))
+    elif backend == "parallel":
+        engine = CryptoEngine(
+            ProcessPoolBackend(workers=workers, modexp=modexp)
+        )
+    else:
+        raise EngineError(
+            f"unknown engine backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if telemetry.enabled():
+        telemetry.count(f"engine.modexp.{engine.modexp_name}")
+    return engine
 
 
 class CryptoEngine:
     """Batch Paillier operations over a pluggable execution backend.
 
-    The engine is stateless apart from the backend (and its pool), so
-    one engine can serve any number of keys and sessions concurrently.
+    The engine is stateless apart from the backend (and its pool) and
+    any attached precompute pools (:meth:`attach_pool`), so one engine
+    can serve any number of keys and sessions concurrently.
     Operation *accounting* stays with the caller
     (:class:`repro.smc.context.TwoPartyContext` counts ops into its
     trace before dispatching), so serial and parallel runs produce
@@ -301,6 +388,7 @@ class CryptoEngine:
 
     def __init__(self, backend=None) -> None:
         self.backend = backend or SerialBackend()
+        self._pools: Dict[int, "PrecomputedEncryptionPool"] = {}
 
     @property
     def backend_name(self) -> str:
@@ -309,6 +397,80 @@ class CryptoEngine:
     @property
     def workers(self) -> int:
         return self.backend.workers
+
+    @property
+    def modexp_name(self) -> str:
+        """Name of the bignum backend evaluating the exponentiations."""
+        return getattr(self.backend, "modexp_name", "python")
+
+    # -- precompute pools ---------------------------------------------------
+
+    def attach_pool(self, pool: "PrecomputedEncryptionPool") -> None:
+        """Drain ``pool`` for future batch work under its public key.
+
+        Once attached, :meth:`encrypt_batch` and
+        :meth:`rerandomize_batch` for the pool's key take ready
+        blinding factors from the pool (two modular multiplications per
+        ciphertext) and only pay full exponentiations for values the
+        pool cannot cover. One pool per public key; attaching another
+        pool for the same key replaces the first.
+        """
+        self._pools[pool.public_key.n] = pool
+
+    def detach_pool(self, public_key: PaillierPublicKey) -> None:
+        """Stop draining the pool attached for ``public_key`` (no-op
+        when none is attached)."""
+        self._pools.pop(public_key.n, None)
+
+    def pool_for(self, public_key: PaillierPublicKey
+                 ) -> Optional["PrecomputedEncryptionPool"]:
+        """The attached pool for ``public_key``, if any."""
+        return self._pools.get(public_key.n)
+
+    def _blinding_factors(
+        self,
+        public_key: PaillierPublicKey,
+        count: int,
+        rng: DeterministicRandom,
+    ) -> List[int]:
+        """``count`` blinding factors ``r^n mod n^2`` for ``public_key``.
+
+        Pool factors first (one locked batch take), then full
+        exponentiations for the shortfall with nonces drawn serially
+        from ``rng`` in order -- so with no pool attached the result is
+        bit-identical to the canonical per-value encryption loop.
+        """
+        pool = self._pools.get(public_key.n)
+        factors: List[int] = []
+        if pool is not None:
+            factors = pool.take_factors(count)
+            if factors and telemetry.enabled():
+                telemetry.count("engine.pool_factors_drained", len(factors))
+        shortfall = count - len(factors)
+        if shortfall:
+            n = public_key.n
+            n_sq = public_key.n_squared
+            nonces = [rng.random_unit(n) for _ in range(shortfall)]
+            factors.extend(
+                self.backend.map_pow([(r, n, n_sq) for r in nonces])
+            )
+        return factors
+
+    @staticmethod
+    def _require_one_key(
+        ciphertexts: Sequence[PaillierCiphertext], operation: str
+    ) -> PaillierPublicKey:
+        """All ciphertexts in a batch must share one public key --
+        mixed-key batches would silently compute garbage under the
+        first key's modulus."""
+        public_key = ciphertexts[0].public_key
+        for index, ciphertext in enumerate(ciphertexts):
+            if ciphertext.public_key.n != public_key.n:
+                raise EngineError(
+                    f"{operation}: ciphertext {index} was encrypted under "
+                    f"a different public key than ciphertext 0"
+                )
+        return public_key
 
     # -- batch primitives ---------------------------------------------------
 
@@ -321,9 +483,14 @@ class CryptoEngine:
     ) -> List[PaillierCiphertext]:
         """Encrypt ``values`` under ``public_key``.
 
-        Nonces are drawn serially from ``rng`` in input order, then the
-        ``r^n mod n^2`` blinding exponentiations fan out; the combine
-        step matches :meth:`PaillierPublicKey.encrypt` bit for bit.
+        With no pool attached (:meth:`attach_pool`), nonces are drawn
+        serially from ``rng`` in input order, then the ``r^n mod n^2``
+        blinding exponentiations fan out; the combine step matches
+        :meth:`PaillierPublicKey.encrypt` bit for bit. With a pool
+        attached for this key, ready factors are drained first -- the
+        online cost collapses to two modular multiplications per
+        covered ciphertext -- and only the shortfall pays the full
+        exponentiation path.
         """
         if not values:
             return []
@@ -333,8 +500,7 @@ class CryptoEngine:
         plaintexts = [
             public_key.encode_signed(v) if signed else v % n for v in values
         ]
-        nonces = [rng.random_unit(n) for _ in values]
-        factors = self.backend.map_pow([(r, n, n_sq) for r in nonces])
+        factors = self._blinding_factors(public_key, len(values), rng)
         return [
             PaillierCiphertext(
                 public_key=public_key,
@@ -406,7 +572,7 @@ class CryptoEngine:
             )
         if not ciphertexts:
             return []
-        public_key = ciphertexts[0].public_key
+        public_key = self._require_one_key(ciphertexts, "scalar_mul_batch")
         n = public_key.n
         n_sq = public_key.n_squared
         exponents = [
@@ -426,15 +592,15 @@ class CryptoEngine:
         rng: Optional[DeterministicRandom] = None,
     ) -> List[PaillierCiphertext]:
         """Re-randomise every ciphertext with a fresh nonce (drawn
-        serially from ``rng`` in input order)."""
+        serially from ``rng`` in input order; ready factors from an
+        attached pool are drained first, exactly as in
+        :meth:`encrypt_batch`)."""
         if not ciphertexts:
             return []
         rng = rng or default_rng()
-        public_key = ciphertexts[0].public_key
-        n = public_key.n
+        public_key = self._require_one_key(ciphertexts, "rerandomize_batch")
         n_sq = public_key.n_squared
-        nonces = [rng.random_unit(n) for _ in ciphertexts]
-        factors = self.backend.map_pow([(r, n, n_sq) for r in nonces])
+        factors = self._blinding_factors(public_key, len(ciphertexts), rng)
         return [
             PaillierCiphertext(
                 public_key=public_key, value=ct.value * factor % n_sq
@@ -459,6 +625,8 @@ class CryptoEngine:
             raise EngineError(
                 f"{len(ciphertexts)} ciphertexts vs {len(weights)} weights"
             )
+        if ciphertexts:
+            self._require_one_key(ciphertexts, "dot_product")
         bases: List[int] = []
         exponents: List[int] = []
         public_key: Optional[PaillierPublicKey] = None

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.crypto.modexp import powmod
 from repro.crypto.numtheory import generate_prime, lcm, modinv
 from repro.crypto.rand import DeterministicRandom, default_rng
 
@@ -104,7 +105,8 @@ class PaillierPublicKey:
         nonce = rng.random_unit(self.n)
         n_sq = self.n_squared
         # (1 + n)^m == 1 + m*n (mod n^2), avoiding one exponentiation.
-        cipher = ((1 + plaintext * self.n) % n_sq) * pow(nonce, self.n, n_sq) % n_sq
+        cipher = ((1 + plaintext * self.n) % n_sq) \
+            * powmod(nonce, self.n, n_sq) % n_sq
         return PaillierCiphertext(public_key=self, value=cipher)
 
     def encrypt_zero(self, rng: Optional[DeterministicRandom] = None) -> "PaillierCiphertext":
@@ -156,7 +158,7 @@ class PaillierPrivateKey:
         self._require_key_match(ciphertext)
         n = self.public_key.n
         n_sq = self.public_key.n_squared
-        u = pow(ciphertext.value, self.lam, n_sq)
+        u = powmod(ciphertext.value, self.lam, n_sq)
         l_of_u = (u - 1) // n
         return (l_of_u * self.mu) % n
 
@@ -165,10 +167,10 @@ class PaillierPrivateKey:
         self._require_key_match(ciphertext)
         params = self.crt_params
         c = ciphertext.value
-        mp_ = params.half_decrypt_p(pow(c % params.p_squared, params.p - 1,
-                                        params.p_squared))
-        mq_ = params.half_decrypt_q(pow(c % params.q_squared, params.q - 1,
-                                        params.q_squared))
+        mp_ = params.half_decrypt_p(powmod(c % params.p_squared, params.p - 1,
+                                           params.p_squared))
+        mq_ = params.half_decrypt_q(powmod(c % params.q_squared, params.q - 1,
+                                           params.q_squared))
         return params.recombine(mp_, mq_)
 
     def decrypt_raw(self, ciphertext: "PaillierCiphertext") -> int:
@@ -328,7 +330,8 @@ class PaillierCiphertext:
         n_sq = self.public_key.n_squared
         exponent = self.public_key.encode_signed(scalar)
         return PaillierCiphertext(
-            public_key=self.public_key, value=pow(self.value, exponent, n_sq)
+            public_key=self.public_key,
+            value=powmod(self.value, exponent, n_sq),
         )
 
     def __rmul__(self, scalar) -> "PaillierCiphertext":
@@ -345,7 +348,8 @@ class PaillierCiphertext:
         n_sq = self.public_key.n_squared
         exponent = scalar % self.public_key.n
         return PaillierCiphertext(
-            public_key=self.public_key, value=pow(self.value, exponent, n_sq)
+            public_key=self.public_key,
+            value=powmod(self.value, exponent, n_sq),
         )
 
     def rerandomize(
@@ -362,7 +366,7 @@ class PaillierCiphertext:
         nonce = rng.random_unit(n)
         return PaillierCiphertext(
             public_key=self.public_key,
-            value=(self.value * pow(nonce, n, n_sq)) % n_sq,
+            value=(self.value * powmod(nonce, n, n_sq)) % n_sq,
         )
 
     def serialized_size_bytes(self) -> int:

@@ -263,5 +263,6 @@ def make_context(
         server_rng=master.fork(),
         statistical_security_bits=cfg.statistical_security_bits,
         engine=engine
-        or make_engine(cfg.engine_backend, workers=cfg.engine_workers),
+        or make_engine(cfg.engine_backend, workers=cfg.engine_workers,
+                       modexp=cfg.crypto_backend),
     )

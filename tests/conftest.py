@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.crypto import modexp
 from repro.crypto.dgk import DgkKeyPair
 from repro.crypto.gm import GMKeyPair
 from repro.crypto.paillier import PaillierKeyPair
@@ -22,6 +23,24 @@ from repro.data import (
 from repro.core.session import SessionConfig
 from repro.smc.context import TwoPartyContext, make_context
 from repro.smc.network import Channel
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--crypto-backend",
+        choices=modexp.MODEXP_BACKENDS,
+        default=None,
+        help="run the whole suite under this bignum backend "
+             "(the CI crypto-backends job passes gmpy2 here)",
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--crypto-backend")
+    if backend is not None:
+        # Fail fast with a clear message if an explicit backend (e.g.
+        # gmpy2 in CI) cannot actually be constructed.
+        modexp.set_default_backend(backend)
+
 
 # Small-but-correct key sizes for fast tests. The cost model covers
 # production sizes; protocol correctness is size-independent.

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.exceptions import ReproError
 from repro.core.session import (
+    CRYPTO_BACKENDS,
     ENGINE_BACKENDS,
     RNG_MODES,
     TRANSPORT_BACKENDS,
@@ -18,12 +19,14 @@ class TestValidation:
     def test_defaults_are_valid(self):
         config = SessionConfig()
         assert config.engine_backend == "serial"
+        assert config.crypto_backend == "auto"
         assert config.transport_backend == "inproc"
         assert config.rng_mode == "deterministic"
         assert config.telemetry is False
 
     @pytest.mark.parametrize("field,value", [
         ("engine_backend", "gpu"),
+        ("crypto_backend", "openssl"),
         ("transport_backend", "carrier-pigeon"),
         ("rng_mode", "lava-lamp"),
         ("paillier_bits", 0),
@@ -61,11 +64,13 @@ class TestFromArgs:
         args = argparse.Namespace(
             seed=4, engine="parallel", workers=2, transport="tcp",
             rng_mode="system", metrics="out.json",
+            crypto_backend="python",
         )
         config = SessionConfig.from_args(args)
         assert config.seed == 4
         assert config.engine_backend == "parallel"
         assert config.engine_workers == 2
+        assert config.crypto_backend == "python"
         assert config.transport_backend == "tcp"
         assert config.rng_mode == "system"
         assert config.telemetry is True
@@ -99,6 +104,10 @@ class TestBackendTuplesStayInSync:
     def test_engine_backends(self):
         from repro.crypto.engine import BACKENDS
         assert tuple(ENGINE_BACKENDS) == tuple(BACKENDS)
+
+    def test_crypto_backends(self):
+        from repro.crypto.modexp import MODEXP_BACKENDS
+        assert tuple(CRYPTO_BACKENDS) == tuple(MODEXP_BACKENDS)
 
     def test_transport_backends(self):
         from repro.smc.transport import TRANSPORT_BACKENDS as REAL

@@ -246,3 +246,161 @@ class TestContextParity:
             summaries.append(summary)
         assert winners[0] == winners[1] == 1
         assert summaries[0] == summaries[1]
+
+
+class TestKeyConsistencyValidation:
+    """Batch ops must reject ciphertext lists spanning multiple keys
+    up front, before any expensive work runs."""
+
+    @pytest.fixture(scope="class")
+    def other_keys(self):
+        from repro.crypto.paillier import PaillierKeyPair
+        return PaillierKeyPair.generate(
+            key_bits=TEST_PAILLIER_BITS, rng=fresh_rng(777)
+        )
+
+    def _mixed(self, paillier_keys, other_keys):
+        rng = fresh_rng(778)
+        return [
+            paillier_keys.public_key.encrypt(1, rng=rng),
+            other_keys.public_key.encrypt(2, rng=rng),
+        ]
+
+    def test_scalar_mul_batch_rejects_mixed_keys(
+        self, paillier_keys, other_keys, serial_engine
+    ):
+        mixed = self._mixed(paillier_keys, other_keys)
+        with pytest.raises(EngineError, match="different public key"):
+            serial_engine.scalar_mul_batch(mixed, [3, 4])
+
+    def test_rerandomize_batch_rejects_mixed_keys(
+        self, paillier_keys, other_keys, serial_engine
+    ):
+        mixed = self._mixed(paillier_keys, other_keys)
+        with pytest.raises(EngineError, match="different public key"):
+            serial_engine.rerandomize_batch(mixed, rng=fresh_rng(779))
+
+    def test_dot_product_rejects_mixed_keys(
+        self, paillier_keys, other_keys, serial_engine
+    ):
+        mixed = self._mixed(paillier_keys, other_keys)
+        with pytest.raises(EngineError, match="different public key"):
+            serial_engine.dot_product(mixed, [3, 4])
+
+    def test_error_names_offending_index(
+        self, paillier_keys, other_keys, serial_engine
+    ):
+        rng = fresh_rng(780)
+        cts = [paillier_keys.public_key.encrypt(i, rng=rng) for i in range(3)]
+        cts.append(other_keys.public_key.encrypt(9, rng=rng))
+        with pytest.raises(EngineError, match="ciphertext 3"):
+            serial_engine.scalar_mul_batch(cts, [1, 1, 1, 1])
+
+    def test_single_key_batches_still_work(
+        self, paillier_keys, serial_engine
+    ):
+        rng = fresh_rng(781)
+        cts = [paillier_keys.public_key.encrypt(v, rng=rng) for v in (5, 6)]
+        out = serial_engine.scalar_mul_batch(cts, [2, 3])
+        assert [paillier_keys.private_key.decrypt(c) for c in out] == [10, 18]
+
+
+class TestPoolDraining:
+    """encrypt_batch / rerandomize_batch drain an attached precompute
+    pool before falling back to fresh exponentiations."""
+
+    def test_encrypt_batch_drains_attached_pool(self, paillier_keys):
+        from repro.crypto.precompute import PrecomputedEncryptionPool
+        engine = CryptoEngine()
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=8, rng=fresh_rng(800)
+        )
+        engine.attach_pool(pool)
+        values = list(range(5))
+        out = engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(801)
+        )
+        assert pool.remaining == 3  # 5 of 8 factors consumed
+        assert [paillier_keys.private_key.decrypt(c) for c in out] == values
+
+    def test_encrypt_batch_tops_up_past_pool_shortfall(self, paillier_keys):
+        from repro.crypto.precompute import PrecomputedEncryptionPool
+        engine = CryptoEngine()
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=2, rng=fresh_rng(802)
+        )
+        engine.attach_pool(pool)
+        values = list(range(6))
+        out = engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(803)
+        )
+        assert pool.remaining == 0
+        assert [paillier_keys.private_key.decrypt(c) for c in out] == values
+
+    def test_rerandomize_batch_drains_pool(self, paillier_keys):
+        from repro.crypto.precompute import PrecomputedEncryptionPool
+        engine = CryptoEngine()
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=4, rng=fresh_rng(804)
+        )
+        engine.attach_pool(pool)
+        rng = fresh_rng(805)
+        cts = [paillier_keys.public_key.encrypt(v, rng=rng) for v in (1, 2)]
+        out = engine.rerandomize_batch(cts, rng=rng)
+        assert pool.remaining == 2
+        assert [c.value for c in out] != [c.value for c in cts]
+        assert [paillier_keys.private_key.decrypt(c) for c in out] == [1, 2]
+
+    def test_detach_pool_restores_fresh_nonce_path(self, paillier_keys):
+        from repro.crypto.precompute import PrecomputedEncryptionPool
+        engine = CryptoEngine()
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=4, rng=fresh_rng(806)
+        )
+        engine.attach_pool(pool)
+        assert engine.pool_for(paillier_keys.public_key) is pool
+        engine.detach_pool(paillier_keys.public_key)
+        assert engine.pool_for(paillier_keys.public_key) is None
+        engine.encrypt_batch(
+            paillier_keys.public_key, [1, 2], rng=fresh_rng(807)
+        )
+        assert pool.remaining == 4  # untouched after detach
+
+    def test_no_pool_path_bit_identical_to_seed_behaviour(
+        self, paillier_keys, serial_engine
+    ):
+        # The pool only changes behaviour when explicitly attached: the
+        # default path must stay transcript-identical to a plain loop.
+        values = [0, 1, -5, 99]
+        batch = serial_engine.encrypt_batch(
+            paillier_keys.public_key, values, rng=fresh_rng(808)
+        )
+        rng = fresh_rng(808)
+        loop = [paillier_keys.public_key.encrypt(v, rng=rng) for v in values]
+        assert [c.value for c in batch] == [c.value for c in loop]
+
+
+class TestModexpSelection:
+    def test_engine_reports_modexp_name(self):
+        engine = make_engine("serial", modexp="python")
+        assert engine.modexp_name == "python"
+
+    def test_default_engine_resolves_auto(self):
+        from repro.crypto.modexp import gmpy2_available
+        engine = make_engine("serial")
+        expected = "gmpy2" if gmpy2_available() else "python"
+        assert engine.modexp_name == expected
+
+    def test_parallel_engine_carries_modexp_name(self):
+        backend = ProcessPoolBackend(workers=1, modexp="python")
+        try:
+            assert backend.modexp_name == "python"
+        finally:
+            backend.close()
+
+    def test_context_threads_crypto_backend_through(self):
+        ctx = make_context(config=SessionConfig(
+            seed=3, paillier_bits=TEST_PAILLIER_BITS,
+            dgk_bits=TEST_DGK_BITS, crypto_backend="python",
+        ))
+        assert ctx.engine.modexp_name == "python"

@@ -198,3 +198,126 @@ class TestSpeed:
             paillier_keys.public_key.encrypt(i, rng=rng)
         full = time.perf_counter() - start
         assert pooled < full  # typically 10-100x at real key sizes
+
+
+class TestRefillStrategies:
+    """All three refill strategies must produce well-formed blinding
+    factors: every pooled ciphertext decrypts correctly."""
+
+    def test_unknown_strategy_rejected(self, paillier_keys):
+        with pytest.raises(ValueError, match="unknown refill strategy"):
+            PrecomputedEncryptionPool(
+                paillier_keys.public_key, strategy="quantum"
+            )
+
+    def test_crt_needs_private_key(self, paillier_keys):
+        from repro.crypto.paillier import PaillierError
+        with pytest.raises(PaillierError, match="private key"):
+            PrecomputedEncryptionPool(
+                paillier_keys.public_key, strategy="crt"
+            )
+
+    def test_mismatched_private_key_rejected(self, paillier_keys):
+        from repro.crypto.paillier import PaillierError, PaillierKeyPair
+        other = PaillierKeyPair.generate(key_bits=256, rng=fresh_rng(900))
+        with pytest.raises(PaillierError, match="match"):
+            PrecomputedEncryptionPool(
+                paillier_keys.public_key,
+                private_key=other.private_key,
+            )
+
+    def test_auto_selects_crt_with_private_key(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key,
+            private_key=paillier_keys.private_key,
+            rng=fresh_rng(901),
+        )
+        assert pool.strategy == "crt"
+
+    def test_auto_selects_pow_without_private_key(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, rng=fresh_rng(902)
+        )
+        assert pool.strategy == "pow"
+
+    def test_crt_factors_bit_equal_to_pow_factors(self, paillier_keys):
+        # Same rng seed => same nonces; the CRT split must reproduce the
+        # full-width exponentiation bit for bit.
+        pow_pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=6, rng=fresh_rng(903),
+            strategy="pow",
+        )
+        crt_pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=6, rng=fresh_rng(903),
+            private_key=paillier_keys.private_key, strategy="crt",
+        )
+        assert pow_pool.take_factors(6) == crt_pool.take_factors(6)
+
+    @pytest.mark.parametrize("strategy", ["pow", "crt", "fixed-base"])
+    def test_strategy_ciphertexts_decrypt(self, paillier_keys, strategy):
+        kwargs = {}
+        if strategy == "crt":
+            kwargs["private_key"] = paillier_keys.private_key
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=4, rng=fresh_rng(904),
+            strategy=strategy, **kwargs,
+        )
+        for value in (0, 42, -17, 123456):
+            ct = pool.encrypt(value)
+            assert paillier_keys.private_key.decrypt(ct) == value
+
+    def test_fixed_base_factors_are_valid_nth_powers(self, paillier_keys):
+        # fixed-base factors are (g^k)^n: confirm each equals r^n for
+        # the implied nonce r = g^k mod n, i.e. a legitimate factor.
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=3, rng=fresh_rng(905),
+            strategy="fixed-base",
+        )
+        n = paillier_keys.public_key.n
+        n_sq = paillier_keys.public_key.n_squared
+        g = pool.fixed_base_generator
+        factors = pool.take_factors(3)
+        assert len(factors) == 3
+        for factor in factors:
+            assert 0 < factor < n_sq
+            # Membership in the subgroup of n-th powers: factor^lambda
+            # == 1 mod n^2 iff factor = r^n for some r coprime to n.
+            lam = (paillier_keys.private_key.p - 1) * (
+                paillier_keys.private_key.q - 1
+            )
+            assert pow(factor, lam, n_sq) == 1
+        assert 1 < g < n
+
+
+class TestTakeFactors:
+    def test_take_factors_pops_up_to_count(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=5, rng=fresh_rng(906)
+        )
+        first = pool.take_factors(3)
+        assert len(first) == 3
+        assert pool.remaining == 2
+        rest = pool.take_factors(10)  # only 2 left; shortfall allowed
+        assert len(rest) == 2
+        assert pool.remaining == 0
+        assert pool.take_factors(1) == []
+        assert not set(first) & set(rest)
+
+    def test_take_factors_rejects_negative(self, paillier_keys):
+        pool = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=1, rng=fresh_rng(907)
+        )
+        with pytest.raises(ValueError):
+            pool.take_factors(-1)
+
+    def test_engine_fanout_matches_serial_refill(self, paillier_keys):
+        from repro.crypto.engine import make_engine
+        serial = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=4, rng=fresh_rng(908)
+        )
+        engine = make_engine("serial", modexp="python")
+        fanned = PrecomputedEncryptionPool(
+            paillier_keys.public_key, size=4, rng=fresh_rng(908),
+            engine=engine,
+        )
+        assert serial.take_factors(4) == fanned.take_factors(4)

@@ -29,7 +29,7 @@ import socket
 import threading
 import time
 
-from repro.bench import Table, write_bench_json
+from repro.bench import Table, update_bench_json
 from repro.core.serialization import deployment_from_dict, deployment_to_dict
 from repro.core.session import SessionConfig
 from repro.serving import ClassificationServer
@@ -133,7 +133,7 @@ def test_e23_concurrent_serving_throughput(warfarin_train_test):
         ])
     table.print()
 
-    write_bench_json(
+    update_bench_json(
         _BENCH_JSON, "e23_concurrent_serve", metrics,
         meta={
             "clients": N_CLIENTS,

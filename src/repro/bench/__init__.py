@@ -10,7 +10,14 @@ from repro.bench.reporting import (
     Table,
     format_seconds,
     format_speedup,
+    update_bench_json,
     write_bench_json,
 )
 
-__all__ = ["Table", "format_seconds", "format_speedup", "write_bench_json"]
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_speedup",
+    "update_bench_json",
+    "write_bench_json",
+]

@@ -120,3 +120,51 @@ def write_bench_json(
         json.dump(record, handle, indent=1, sort_keys=True)
         handle.write("\n")
     return record
+
+
+def update_bench_json(
+    path: str,
+    name: str,
+    metrics: Dict[str, float],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Merge one benchmark record into a *shared* JSON file.
+
+    :func:`write_bench_json` owns its file outright -- fine while one
+    bench per file, wrong once two experiments report into the same
+    trajectory file (e23 and e24 both land in ``BENCH_serving.json``).
+    This variant reads the existing document, keys records by their
+    ``bench`` name under a ``"benches"`` map, replaces only this
+    bench's entry, and leaves the others alone. A legacy single-record
+    file is upgraded in place (its old record becomes one entry).
+    Returns the record written for ``name``.
+    """
+    import os
+
+    record: Dict[str, object] = {
+        "bench": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "metrics": {key: float(value) for key, value in metrics.items()},
+    }
+    if meta:
+        record["meta"] = meta
+    benches: Dict[str, object] = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and isinstance(
+            existing.get("benches"), dict
+        ):
+            benches = existing["benches"]
+        elif isinstance(existing, dict) and "bench" in existing:
+            benches = {str(existing["bench"]): existing}  # legacy upgrade
+    except (OSError, ValueError):
+        pass  # absent or unreadable: start a fresh document
+    benches[name] = record
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"benches": benches}, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return record

@@ -134,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=None,
                        help="per-request wall-clock deadline in seconds "
                             "(default: the transport io timeout)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard processes behind a routing frontend; "
+                            "each shard runs its own crypto engine and "
+                            "--workers thread pool (default 1: a single "
+                            "in-process server)")
     serve.add_argument("--engine", choices=ENGINE_BACKENDS, default="serial",
                        help="batch crypto engine shared by all request "
                             "handlers (default serial)")
@@ -412,17 +417,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine_backend=args.engine,
         engine_workers=args.engine_workers,
         crypto_backend=args.crypto_backend or "auto",
+        shards=args.shards,
+        telemetry=bool(metered),
     )
+    if config.shards > 1:
+        from repro.serving import ClassificationFleet
+
+        fleet = ClassificationFleet(
+            deployed, config=config, host=args.host, port=args.port
+        )
+        fleet.start()
+        emit(
+            args.format,
+            text=(
+                f"serving {args.bundle} ({deployed.kind}) on "
+                f"{fleet.host}:{fleet.port} with {config.shards} shards x "
+                f"{args.workers} workers (queue depth {args.queue_depth})\n"
+                f"shutdown token: {fleet.shutdown_token}"
+            ),
+            payload={
+                "bundle": args.bundle,
+                "kind": deployed.kind,
+                "host": fleet.host,
+                "port": fleet.port,
+                "shards": config.shards,
+                "workers": args.workers,
+                "queue_depth": args.queue_depth,
+                "shutdown_token": fleet.shutdown_token,
+            },
+        )
+        sys.stdout.flush()
+        try:
+            fleet.wait()
+        finally:
+            fleet.shutdown()
+        if metered:
+            _finish_metrics(args)
+        return 0
+
+    from repro.serving import ClassificationServer
+
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((args.host, args.port))
     listener.listen(max(4, args.workers + args.queue_depth))
     host, port = listener.getsockname()
+    server = ClassificationServer(
+        deployed, listener, config=config,
+        max_connections=args.max_connections,
+    )
     emit(
         args.format,
         text=(
             f"serving {args.bundle} ({deployed.kind}) on {host}:{port} "
-            f"with {args.workers} workers (queue depth {args.queue_depth})"
+            f"with {args.workers} workers (queue depth {args.queue_depth})\n"
+            f"shutdown token: {server.shutdown_token}"
         ),
         payload={
             "bundle": args.bundle,
@@ -431,13 +480,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "port": port,
             "workers": args.workers,
             "queue_depth": args.queue_depth,
+            "shutdown_token": server.shutdown_token,
         },
     )
     sys.stdout.flush()
     with listener:
-        deployed.serve(
-            listener, max_connections=args.max_connections, config=config
-        )
+        server.serve_forever()
     if metered:
         _finish_metrics(args)
     return 0

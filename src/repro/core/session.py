@@ -84,6 +84,15 @@ class SessionConfig:
         connections are shed with an ``overloaded`` error, and the
         per-request wall-clock deadline in seconds (``None`` = fall
         back to ``io_timeout``).
+    shards:
+        Number of independent shard *processes* behind the serving
+        frontend (:class:`repro.serving.ClassificationFleet`). ``1``
+        (default) serves from a single in-process
+        :class:`~repro.serving.ClassificationServer`; above that, each
+        shard gets its own process, crypto engine and telemetry
+        registry, so online capacity scales with cores instead of
+        stalling on the GIL. ``max_workers`` / ``queue_depth`` apply
+        *per shard*.
 
     Example::
 
@@ -110,6 +119,7 @@ class SessionConfig:
     max_workers: int = 4
     queue_depth: int = 16
     request_timeout_s: Optional[float] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.engine_backend not in ENGINE_BACKENDS:
@@ -155,6 +165,8 @@ class SessionConfig:
                 f"request_timeout_s must be positive, "
                 f"got {self.request_timeout_s}"
             )
+        if self.shards < 1:
+            raise ReproError(f"shards must be positive, got {self.shards}")
 
     def with_overrides(self, **overrides) -> "SessionConfig":
         """A copy with the given fields replaced (validation re-runs)."""
@@ -166,8 +178,9 @@ class SessionConfig:
 
         Reads whichever of ``--seed``, ``--engine``, ``--workers``,
         ``--crypto-backend``, ``--transport``, ``--rng-mode``,
-        ``--metrics``, ``--queue-depth`` and ``--request-timeout`` the
-        subcommand defined; anything absent keeps its default.
+        ``--metrics``, ``--queue-depth``, ``--request-timeout`` and
+        ``--shards`` the subcommand defined; anything absent keeps its
+        default.
         ``extra`` overrides both.
         """
         values = {}
@@ -180,6 +193,7 @@ class SessionConfig:
             ("rng_mode", "rng_mode"),
             ("queue_depth", "queue_depth"),
             ("request_timeout_s", "request_timeout"),
+            ("shards", "shards"),
         ):
             value = getattr(args, arg_name, None)
             if value is not None:

@@ -39,6 +39,7 @@ operator view and ``docs/OBSERVABILITY.md`` for the catalogue.
 
 from __future__ import annotations
 
+import hmac
 import socket
 import threading
 import time
@@ -48,6 +49,7 @@ from typing import Optional
 import repro.telemetry as telemetry
 from repro.core.session import SessionConfig
 from repro.crypto.engine import make_engine
+from repro.crypto.rand import secure_rng
 from repro.serving.session import BadRequest, RequestSession
 from repro.smc import wire
 from repro.smc.transport import TcpTransport, TransportConfig, TransportError
@@ -74,7 +76,18 @@ class ClassificationServer:
     max_connections:
         Stop accepting after this many accepted connections (shed ones
         included) and drain; ``None`` serves until :meth:`shutdown` or
-        a ``KIND_SHUTDOWN`` frame.
+        an *authorized* ``KIND_SHUTDOWN`` frame.
+    shard_name:
+        Optional fleet identity (e.g. ``"s0"``). Prefixes every request
+        id (``s0-req-000001``) and is echoed in ``KIND_HEALTH`` replies
+        so fleet clients and tests can attribute work to a shard.
+
+    A remote ``KIND_SHUTDOWN`` frame is honored only when its body
+    carries :attr:`shutdown_token` -- a per-server secret generated at
+    construction (bind) time and never sent on the wire by the server
+    itself. Anyone else gets a ``bad-request`` error and the server
+    keeps serving; the CLI prints the token and the fleet frontend uses
+    it for graceful drain.
 
     Example::
 
@@ -94,11 +107,17 @@ class ClassificationServer:
         listener: socket.socket,
         config: Optional[SessionConfig] = None,
         max_connections: Optional[int] = None,
+        shard_name: str = "",
     ) -> None:
         self.deployed = deployed
         self.listener = listener
         self.config = config if config is not None else SessionConfig()
         self.max_connections = max_connections
+        self.shard_name = str(shard_name)
+        self._id_prefix = f"{self.shard_name}-" if self.shard_name else ""
+        #: Per-server shutdown secret, minted at bind time from OS
+        #: entropy. 128 bits rendered as hex; compared constant-time.
+        self.shutdown_token = f"{secure_rng().getrandbits(128):032x}"
         self._engine = make_engine(
             self.config.engine_backend, workers=self.config.engine_workers
         )
@@ -145,7 +164,7 @@ class ClassificationServer:
                     break  # listener closed (shutdown) or torn down
                 with self._lock:
                     self._accepted += 1
-                    request_id = f"req-{self._accepted:06d}"
+                    request_id = f"{self._id_prefix}req-{self._accepted:06d}"
                 if not self._slots.acquire(blocking=False):
                     self._shed(sock, request_id)
                     continue
@@ -262,7 +281,19 @@ class ClassificationServer:
         except (wire.WireError, OSError):
             return  # client vanished before sending a request
         if kind == wire.KIND_SHUTDOWN:
-            self.shutdown()
+            if self._authorized_shutdown(body):
+                self._send_health(sock, "stopping")
+                self.shutdown()
+            else:
+                telemetry.count("serve.shutdown_denied")
+                self._send_error(
+                    sock, "bad-request",
+                    "shutdown requires this server's shutdown token",
+                    request_id,
+                )
+            return
+        if kind == wire.KIND_HEALTH:
+            self._send_health(sock, "ok", body)
             return
         if kind != wire.KIND_REQUEST:
             return
@@ -286,7 +317,12 @@ class ClassificationServer:
             telemetry.count("serve.errors")
             self._send_error(sock, *_sanitize(error), request_id)
             return
-        wire.send_frame(sock, wire.KIND_RESULT, wire.encode(result))
+        try:
+            wire.send_frame(sock, wire.KIND_RESULT, wire.encode(result))
+        except OSError:
+            # The client hung up after the protocol finished. The
+            # result is only theirs to lose -- count it, keep serving.
+            telemetry.count("serve.errors")
 
     def _classify(self, session: RequestSession, sock, request_span) -> dict:
         """Run one classification on a private context/codec/transport."""
@@ -337,6 +373,51 @@ class ClassificationServer:
                 wire_sock.close()
             except OSError:  # pragma: no cover - already dropped
                 pass
+
+    def _authorized_shutdown(self, body: bytes) -> bool:
+        """Does this ``KIND_SHUTDOWN`` body carry our shutdown token?
+
+        Accepts the canonical ``{"token": "..."}`` payload
+        (:func:`repro.smc.wire.shutdown_payload`) or a bare string.
+        Comparison is constant-time; a malformed body is simply
+        unauthorized, never an exception.
+        """
+        try:
+            payload = wire.WireCodec().decode(body)
+        except wire.WireError:
+            return False
+        token = payload.get("token") if isinstance(payload, dict) else payload
+        if not isinstance(token, str):
+            return False
+        return hmac.compare_digest(token, self.shutdown_token)
+
+    def _send_health(
+        self, sock: socket.socket, status: str, body: bytes = b""
+    ) -> None:
+        """Best-effort ``KIND_HEALTH`` reply to a probe (or as an ack).
+
+        A probe whose body asks ``{"telemetry": true}`` gets this
+        process's full registry snapshot attached, which is how the
+        fleet frontend collects per-shard metrics to merge.
+        """
+        with_telemetry = False
+        if body:
+            try:
+                probe = wire.WireCodec().decode(body)
+                with_telemetry = bool(
+                    isinstance(probe, dict) and probe.get("telemetry")
+                )
+            except wire.WireError:
+                pass  # a bare probe still deserves a liveness answer
+        payload = wire.health_payload(
+            status,
+            shard=self.shard_name,
+            telemetry=telemetry.snapshot() if with_telemetry else None,
+        )
+        try:
+            wire.send_frame(sock, wire.KIND_HEALTH, wire.encode(payload))
+        except OSError:  # pragma: no cover - prober already disconnected
+            pass
 
     def _send_error(
         self, sock: socket.socket, code: str, message: str, request_id: str

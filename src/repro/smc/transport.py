@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import repro.telemetry as telemetry
+from repro.crypto.rand import secure_rng
 from repro.smc import wire
 from repro.smc.network import Direction
 
@@ -99,13 +100,33 @@ class TransportConfig:
         Additional attempts after the first on *transient* failures
         (connection refused, connection dropped mid-exchange).
     backoff_seconds:
-        Initial retry delay; doubles per retry.
+        Initial retry delay window; doubles per retry. Each retry
+        actually sleeps a uniform *full jitter* draw from
+        ``[0, window]`` so shed clients do not re-dial in lockstep.
     """
 
     connect_timeout: float = 5.0
     io_timeout: float = 30.0
     retries: int = 3
     backoff_seconds: float = 0.05
+
+
+#: Non-secret randomness for retry jitter. OS-entropy backed so client
+#: processes forked from a common parent still desynchronise, but never
+#: used for anything cryptographic.
+_BACKOFF_RNG = secure_rng()
+
+
+def _backoff_sleep(delay: float) -> None:
+    """Sleep a *full-jitter* backoff: uniform in ``[0, delay]``.
+
+    A shed burst disconnects every client at the same instant; without
+    jitter they all re-dial in lockstep after exactly ``delay`` seconds
+    and hammer the frontend again (thundering herd). Full jitter spreads
+    the redials across the whole window while the caller keeps doubling
+    ``delay``, so the attempt budget and the worst-case wait both stand.
+    """
+    time.sleep(_BACKOFF_RNG.uniform(0.0, delay))
 
 
 @dataclass
@@ -212,7 +233,7 @@ class TcpTransport:
         for attempt in range(self.config.retries + 1):
             if attempt:
                 telemetry.count("transport.connect_retries")
-                time.sleep(delay)
+                _backoff_sleep(delay)
                 delay *= 2
             try:
                 sock = socket.create_connection(
@@ -261,7 +282,7 @@ class TcpTransport:
         for attempt in range(self.config.retries + 1):
             if attempt:
                 telemetry.count("transport.retries")
-                time.sleep(delay)
+                _backoff_sleep(delay)
                 delay *= 2
             try:
                 sock = self._ensure_sock()
@@ -613,7 +634,7 @@ def request_classification(
     sock = None
     for attempt in range(config.retries + 1):
         if attempt:
-            time.sleep(delay)
+            _backoff_sleep(delay)
             delay *= 2
         try:
             sock = socket.create_connection(

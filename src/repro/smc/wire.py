@@ -96,8 +96,9 @@ KIND_REQUEST = 0x03    # classification request (row, disclosure, seed)
 KIND_RESULT = 0x04     # classification result (label + trace summary)
 KIND_STATS = 0x05      # byte-accounting stats request / reply
 KIND_CLOSE = 0x06      # end of session (connection may be reused)
-KIND_SHUTDOWN = 0x07   # stop serving entirely
+KIND_SHUTDOWN = 0x07   # stop serving entirely (body carries the token)
 KIND_ERROR = 0x08      # server-side failure report (code, message, id)
+KIND_HEALTH = 0x09     # liveness probe / status reply (fleet heartbeats)
 
 _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
@@ -435,6 +436,38 @@ def error_payload(code: str, message: str, request_id: str = "") -> dict:
         "message": str(message),
         "request_id": str(request_id),
     }
+
+
+def shutdown_payload(token: str) -> dict:
+    """The body of an authorized ``KIND_SHUTDOWN`` frame.
+
+    ``token`` is the per-server shutdown token generated at bind time
+    (:attr:`repro.serving.ClassificationServer.shutdown_token`). A
+    ``KIND_SHUTDOWN`` frame whose body does not carry the right token
+    is answered with a ``bad-request`` error and ignored, so a stray
+    TCP client cannot stop a server it does not operate.
+    """
+    return {"token": str(token)}
+
+
+def health_payload(
+    status: str,
+    shard: str = "",
+    telemetry: Optional[dict] = None,
+) -> dict:
+    """The body of a ``KIND_HEALTH`` status reply.
+
+    ``status`` is ``"ok"`` or ``"draining"``; ``shard`` the responding
+    shard's name (empty for a standalone server); ``telemetry`` an
+    optional picklable metrics snapshot
+    (:meth:`repro.telemetry.MetricsRegistry.snapshot`) included when
+    the probe body asked for one (``{"telemetry": True}``). The fleet
+    frontend merges these snapshots into its own registry.
+    """
+    payload: dict = {"status": str(status), "shard": str(shard)}
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
+    return payload
 
 
 def codec_for_context(ctx) -> WireCodec:

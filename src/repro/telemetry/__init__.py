@@ -29,6 +29,7 @@ catalogue.
 """
 
 from repro.telemetry.export import (
+    histogram_quantiles,
     load_metrics,
     render_text,
     span_wire_bytes,
@@ -65,6 +66,7 @@ __all__ = [
     "enabled",
     "gauge",
     "get_registry",
+    "histogram_quantiles",
     "load_metrics",
     "merge_snapshot",
     "observe",

@@ -11,6 +11,7 @@ reconciliation totals that must match the protocol's
 from __future__ import annotations
 
 import json
+import math
 import sys
 from typing import Any, Dict, List
 
@@ -39,6 +40,37 @@ def span_wire_bytes(snapshot: Dict[str, Any]) -> int:
         return own + sum(walk(child) for child in span.get("children", []))
 
     return sum(walk(span) for span in snapshot.get("spans", []))
+
+
+def histogram_quantiles(
+    snapshot: Dict[str, Any], name: str, qs: List[float]
+) -> Dict[float, float]:
+    """Quantiles of the histogram ``name`` from its retained samples.
+
+    ``qs`` are fractions in ``[0, 1]`` (``0.5`` = median, ``0.99`` =
+    p99), computed by the nearest-rank method over the histogram's
+    ``samples`` list -- exact while the observation count stays under
+    :data:`~repro.telemetry.registry.HISTOGRAM_SAMPLE_CAP`, a
+    first-N approximation beyond it. Returns an empty dict when the
+    histogram is missing or carries no samples (e.g. a pre-samples
+    document), so callers can fall back to min/max.
+
+    Example::
+
+        waits = histogram_quantiles(snap, "serve.queue_wait", [0.5, 0.99])
+        print(f"p50={waits[0.5]:.3f}s p99={waits[0.99]:.3f}s")
+    """
+    hist = snapshot.get("histograms", {}).get(name, {})
+    samples = sorted(hist.get("samples", []))
+    if not samples:
+        return {}
+    result: Dict[float, float] = {}
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = max(0, math.ceil(q * len(samples)) - 1)
+        result[q] = samples[rank]
+    return result
 
 
 def render_text(snapshot: Dict[str, Any]) -> str:
@@ -71,10 +103,16 @@ def render_text(snapshot: Dict[str, Any]) -> str:
         for name in sorted(histograms):
             hist = histograms[name]
             mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
-            lines.append(
+            line = (
                 f"  {name}  count={hist['count']:g} mean={mean:.6g} "
                 f"min={hist['min']:.6g} max={hist['max']:.6g}"
             )
+            quantiles = histogram_quantiles(snapshot, name, [0.5, 0.99])
+            if quantiles:
+                line += (
+                    f" p50={quantiles[0.5]:.6g} p99={quantiles[0.99]:.6g}"
+                )
+            lines.append(line)
     if not lines:
         lines.append("(empty telemetry snapshot)")
     return "\n".join(lines)
@@ -147,6 +185,16 @@ def validate_metrics(document: Any) -> List[str]:
                 if not isinstance(hist.get(key), (int, float)) or \
                         isinstance(hist.get(key), bool):
                     errors.append(f"histogram {name!r} missing numeric {key!r}")
+            samples = hist.get("samples")
+            if samples is not None:  # optional: pre-samples documents stay ok
+                if not isinstance(samples, list) or any(
+                    not isinstance(v, (int, float)) or isinstance(v, bool)
+                    for v in samples
+                ):
+                    errors.append(
+                        f"histogram {name!r} samples must be an array of "
+                        f"numbers"
+                    )
     gauges = document.get("gauges")
     if gauges is not None:  # optional: pre-gauge documents stay valid
         if not isinstance(gauges, dict):

@@ -35,6 +35,13 @@ from typing import Any, Dict, List, Optional
 
 SCHEMA = "repro.telemetry/v1"
 
+#: Per-histogram cap on retained raw observations. Histograms keep the
+#: first this-many values alongside count/sum/min/max so quantiles
+#: (p50/p99 of ``serve.queue_wait``) can be computed from a snapshot;
+#: beyond the cap only the aggregate moments keep updating. Bounded so
+#: a long-running server cannot grow a snapshot without limit.
+HISTOGRAM_SAMPLE_CAP = 4096
+
 #: Module-level fast path: all recording helpers bail on this flag
 #: before doing any work. Mutated only via :func:`configure`.
 _enabled = False
@@ -121,18 +128,27 @@ class MetricsRegistry:
             self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Record one observation into the histogram ``name``."""
+        """Record one observation into the histogram ``name``.
+
+        Alongside the running count/sum/min/max, the first
+        :data:`HISTOGRAM_SAMPLE_CAP` raw values are retained in
+        ``samples`` so snapshot consumers can compute quantiles
+        (:func:`repro.telemetry.histogram_quantiles`).
+        """
         with self._lock:
             hist = self._histograms.get(name)
             if hist is None:
                 self._histograms[name] = {
                     "count": 1, "sum": value, "min": value, "max": value,
+                    "samples": [value],
                 }
             else:
                 hist["count"] += 1
                 hist["sum"] += value
                 hist["min"] = min(hist["min"], value)
                 hist["max"] = max(hist["max"], value)
+                if len(hist["samples"]) < HISTOGRAM_SAMPLE_CAP:
+                    hist["samples"].append(value)
 
     def add_root(self, span: SpanRecord) -> None:
         """Attach a finished top-level span to the registry."""
@@ -148,7 +164,7 @@ class MetricsRegistry:
                 "schema": SCHEMA,
                 "counters": dict(self._counters),
                 "histograms": {
-                    name: dict(hist)
+                    name: {**hist, "samples": list(hist.get("samples", []))}
                     for name, hist in self._histograms.items()
                 },
                 "gauges": dict(self._gauges),
@@ -166,15 +182,21 @@ class MetricsRegistry:
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, value)
         for name, hist in snapshot.get("histograms", {}).items():
+            theirs = list(hist.get("samples", []))
             with self._lock:
                 mine = self._histograms.get(name)
                 if mine is None:
-                    self._histograms[name] = dict(hist)
+                    self._histograms[name] = {
+                        **hist, "samples": theirs[:HISTOGRAM_SAMPLE_CAP],
+                    }
                 else:
                     mine["count"] += hist["count"]
                     mine["sum"] += hist["sum"]
                     mine["min"] = min(mine["min"], hist["min"])
                     mine["max"] = max(mine["max"], hist["max"])
+                    room = HISTOGRAM_SAMPLE_CAP - len(mine["samples"])
+                    if room > 0:
+                        mine["samples"].extend(theirs[:room])
         for name, value in snapshot.get("gauges", {}).items():
             with self._lock:
                 mine = self._gauges.get(name)

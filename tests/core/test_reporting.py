@@ -1,8 +1,16 @@
 """Tests for the benchmark reporting helpers."""
 
+import json
+
 import pytest
 
-from repro.bench.reporting import Table, format_seconds, format_speedup
+from repro.bench.reporting import (
+    Table,
+    format_seconds,
+    format_speedup,
+    update_bench_json,
+    write_bench_json,
+)
 
 
 class TestTable:
@@ -60,3 +68,27 @@ class TestFormatters:
 
     def test_format_speedup(self):
         assert format_speedup(123.456) == "123.5x"
+
+
+class TestBenchJson:
+    def test_update_keeps_other_benches(self, tmp_path):
+        """Two experiments sharing one trajectory file must not clobber
+        each other (e23 and e24 both report into BENCH_serving.json)."""
+        path = str(tmp_path / "bench.json")
+        update_bench_json(path, "e23", {"speedup": 2.9})
+        update_bench_json(path, "e24", {"speedup": 3.5})
+        update_bench_json(path, "e23", {"speedup": 3.0})  # re-run replaces
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert set(doc["benches"]) == {"e23", "e24"}
+        assert doc["benches"]["e23"]["metrics"]["speedup"] == 3.0
+        assert doc["benches"]["e24"]["metrics"]["speedup"] == 3.5
+
+    def test_update_upgrades_legacy_single_record(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_bench_json(path, "e23", {"speedup": 2.9})
+        update_bench_json(path, "e24", {"speedup": 3.5})
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert set(doc["benches"]) == {"e23", "e24"}
+        assert doc["benches"]["e23"]["metrics"]["speedup"] == 2.9

@@ -252,12 +252,65 @@ def test_deadline_reports_deadline_error(deployed, rows):
         stop_server(server, thread)
 
 
-def test_shutdown_frame_stops_the_server(deployed):
-    """A KIND_SHUTDOWN first frame triggers graceful shutdown (the
-    compat path used by TcpTransport.close(shutdown_peer=True))."""
+def test_stranger_shutdown_frame_leaves_server_serving(deployed):
+    """Regression: an unauthenticated KIND_SHUTDOWN must NOT stop the
+    server -- any TCP client used to be able to kill it. A stranger gets
+    a bad-request error and the server keeps accepting."""
+    server, thread, port = start_server(deployed)
+    try:
+        for body in (None, "guess", {"token": "0" * 32}, {"junk": 1}):
+            with socket.create_connection(
+                ("127.0.0.1", port), timeout=30
+            ) as s:
+                wire.send_frame(s, wire.KIND_SHUTDOWN, wire.encode(body))
+                kind, reply = wire.recv_frame(s)
+            assert kind == wire.KIND_ERROR
+            assert wire.WireCodec().decode(reply)["code"] == "bad-request"
+        assert thread.is_alive()  # still serving after every attempt
+        # ... and demonstrably so: a health probe still gets answered.
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            wire.send_frame(s, wire.KIND_HEALTH, wire.encode(None))
+            kind, reply = wire.recv_frame(s)
+        assert kind == wire.KIND_HEALTH
+        assert wire.WireCodec().decode(reply)["status"] == "ok"
+    finally:
+        stop_server(server, thread)
+
+
+def test_token_shutdown_frame_stops_the_server(deployed):
+    """A KIND_SHUTDOWN carrying the server's own token triggers the
+    graceful shutdown path (used by the CLI and the fleet drain)."""
     server, thread, port = start_server(deployed)
     with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
-        wire.send_frame(s, wire.KIND_SHUTDOWN, wire.encode(None))
+        wire.send_frame(
+            s, wire.KIND_SHUTDOWN,
+            wire.encode(wire.shutdown_payload(server.shutdown_token)),
+        )
+        kind, reply = wire.recv_frame(s)  # the ack precedes the stop
+    assert kind == wire.KIND_HEALTH
+    assert wire.WireCodec().decode(reply)["status"] == "stopping"
     thread.join(timeout=30)
     assert not thread.is_alive()
     assert server.wait_drained(timeout=1)
+
+
+def test_health_probe_can_carry_telemetry(deployed):
+    """A KIND_HEALTH probe asking for telemetry gets this shard's
+    registry snapshot attached (the fleet frontend's merge source)."""
+    import repro.telemetry as telemetry
+
+    telemetry.configure(True, reset=True)
+    server, thread, port = start_server(deployed)
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            wire.send_frame(
+                s, wire.KIND_HEALTH, wire.encode({"telemetry": True})
+            )
+            kind, reply = wire.recv_frame(s)
+        assert kind == wire.KIND_HEALTH
+        payload = wire.WireCodec().decode(reply)
+        assert payload["status"] == "ok"
+        assert payload["telemetry"]["schema"] == telemetry.SCHEMA
+    finally:
+        stop_server(server, thread)
+        telemetry.configure(False, reset=True)

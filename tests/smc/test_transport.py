@@ -194,3 +194,49 @@ class TestFaultInjection:
         )
         with pytest.raises(TransportError, match="could not connect"):
             tcp.exchange(Direction.CLIENT_TO_SERVER, 1)
+
+
+class TestBackoffJitter:
+    def test_backoff_sleep_draws_full_jitter(self, monkeypatch):
+        """Each retry sleeps a uniform draw from [0, window], not the
+        window itself -- lockstep redials are the thundering herd."""
+        from repro.smc import transport as transport_mod
+
+        slept = []
+        monkeypatch.setattr(transport_mod.time, "sleep", slept.append)
+        for _ in range(64):
+            transport_mod._backoff_sleep(0.05)
+        assert all(0.0 <= s <= 0.05 for s in slept)
+        assert len(set(slept)) > 1  # actually jittered, not constant
+
+    def test_jittered_retries_keep_the_attempt_budget(self, monkeypatch):
+        """Jitter must not change how many times we try: retries=2 means
+        exactly 3 connect attempts and 2 backoff sleeps, each bounded by
+        its doubling window."""
+        from repro.smc import transport as transport_mod
+
+        slept = []
+        monkeypatch.setattr(transport_mod.time, "sleep", slept.append)
+        attempts = []
+        real_create = socket.create_connection
+
+        def refusing(address, timeout=None):
+            attempts.append(address)
+            raise ConnectionRefusedError("test: nothing listening")
+
+        monkeypatch.setattr(socket, "create_connection", refusing)
+        try:
+            tcp = TcpTransport(
+                port=1, codec=wire.WireCodec(),
+                config=TransportConfig(connect_timeout=0.1, retries=2,
+                                       backoff_seconds=0.01),
+            )
+            with pytest.raises(TransportError, match="after 3 attempts"):
+                tcp.exchange(Direction.CLIENT_TO_SERVER, 1)
+        finally:
+            monkeypatch.setattr(socket, "create_connection", real_create)
+        assert len(attempts) == 3  # initial + retries, jitter or not
+        backoffs = [s for s in slept if s >= 0.0]
+        assert len(backoffs) >= 2
+        # Full jitter: every sleep fits inside its doubled window.
+        assert backoffs[0] <= 0.01 and backoffs[1] <= 0.02

@@ -43,7 +43,20 @@ class TestCountersAndHistograms:
         for value in (1.0, 3.0, 2.0):
             telemetry.observe("chunk_seconds", value)
         hist = telemetry.snapshot()["histograms"]["chunk_seconds"]
-        assert hist == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+        assert hist == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0,
+            "samples": [1.0, 3.0, 2.0],
+        }
+
+    def test_histogram_samples_are_capped(self, telemetry_on):
+        cap = telemetry.registry.HISTOGRAM_SAMPLE_CAP
+        registry = MetricsRegistry()
+        for i in range(cap + 10):
+            registry.observe("waits", float(i))
+        hist = registry.snapshot()["histograms"]["waits"]
+        assert hist["count"] == cap + 10
+        assert len(hist["samples"]) == cap
+        assert hist["max"] == float(cap + 9)  # moments keep updating
 
 
 class TestSpans:
@@ -141,6 +154,7 @@ class TestSnapshotAndMerge:
         assert snap["counters"]["jobs"] == 4
         assert snap["histograms"]["seconds"] == {
             "count": 2, "sum": 7.0, "min": 2.0, "max": 5.0,
+            "samples": [5.0, 2.0],
         }
         assert [s["name"] for s in snap["spans"]] == ["worker.chunk"]
 

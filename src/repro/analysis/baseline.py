@@ -58,6 +58,8 @@ def save_baseline(path: str, findings: Iterable[Finding]) -> None:
             "module": sample.module,
             "snippet": sample.snippet,
         }
+        if sample.chain:
+            entries[print_]["chain"] = list(sample.chain)
     payload = {"version": BASELINE_VERSION, "findings": entries}
     Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",

@@ -18,6 +18,8 @@ from repro.analysis.checkers.telemetry_span import TelemetrySpanChecker
 from repro.analysis.checkers.ciphertext_arith import CiphertextArithChecker
 from repro.analysis.checkers.exception_hygiene import ExceptionHygieneChecker
 from repro.analysis.checkers.mutable_defaults import MutableDefaultChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.branch_on_secret import BranchOnSecretChecker
 
 ALL_CHECKERS: List[Checker] = [
     RngHygieneChecker(),
@@ -28,6 +30,8 @@ ALL_CHECKERS: List[Checker] = [
     CiphertextArithChecker(),
     ExceptionHygieneChecker(),
     MutableDefaultChecker(),
+    LockDisciplineChecker(),
+    BranchOnSecretChecker(),
 ]
 
 

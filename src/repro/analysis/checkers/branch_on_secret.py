@@ -1,0 +1,72 @@
+"""Rule ``branch-on-secret``: advisory on secret-dependent control flow.
+
+The timing side of the channel-leak taint lattice. ``channel-leak``
+tracks *value* flow: a decrypted value must not cross the wire raw.
+This rule tracks *control* flow: an ``if``/``while``/ternary/``assert``
+whose condition derives from a decrypt result (locally or through a
+project function returning one, per the shared interprocedural taint
+engine) makes execution time and message schedule depend on a secret --
+the classic small-leak channel DGK-style protocols are careful to
+blind away.
+
+It is a **warning**, not an error, because some secret-dependent
+branches are the protocol's *designed output*: the comparison protocols
+legitimately reveal a single comparison bit to one party, and acting on
+that bit is the point. Those sites carry a
+``# repro: allow[branch-on-secret]`` pragma documenting the disclosure;
+anything without a pragma deserves a look -- either it is fine (add the
+pragma with a justification) or a decrypted intermediate is steering
+control flow it should not.
+
+Scope: ``repro.smc`` and ``repro.secure`` -- the two packages that
+execute protocol steps on live secrets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, ModuleInfo
+from repro.analysis.taint import engine_for
+
+SECRET_SCOPE = ("repro.smc", "repro.secure")
+
+
+class BranchOnSecretChecker(Checker):
+    rule = "branch-on-secret"
+    severity = Severity.WARNING
+    description = (
+        "control flow conditioned on decrypt-derived values leaks via "
+        "timing/message schedule; justify designed disclosures with a "
+        "pragma"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if not mod.in_scope(SECRET_SCOPE):
+            return
+        engine = engine_for(self._program_for(mod))
+        _, branches = engine.events_for(mod.module)
+        for event in branches:
+            yield Finding(
+                rule=self.rule,
+                severity=self.severity,
+                path=mod.path,
+                module=mod.module,
+                line=event.line,
+                message=(
+                    f"'{event.kind}' conditioned on a decrypt-derived "
+                    f"value in {event.func.name}(): execution timing now "
+                    f"depends on a secret -- blind it, or pragma the "
+                    f"designed disclosure"
+                ),
+                snippet=mod.line_text(event.line),
+            )
+
+    def _program_for(self, mod: ModuleInfo):
+        if self.program is not None \
+                and mod.module in self.program.modules:
+            return self.program
+        from repro.analysis.callgraph import Program
+
+        return Program.build([mod])

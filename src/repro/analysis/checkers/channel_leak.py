@@ -3,237 +3,45 @@
 The classic SMC implementation bug: a value obtained from ``decrypt``
 (or read off private-key material) flows into ``channel.send`` /
 ``client_sends`` / ``server_sends`` / a transport write without being
-re-encrypted, so plaintext crosses the two-party link. This checker is
-a conservative intra-function taint analysis:
+re-encrypted, so plaintext crosses the two-party link.
+
+The rule runs on the interprocedural taint engine
+(:mod:`repro.analysis.taint`) over the whole-program call graph:
 
 * **sources** -- calls whose name contains ``decrypt`` (``decrypt``,
   ``client_decrypt``, ``decrypt_raw``, ``client_decrypt_batch``, ...)
   and attribute reads of ``private_key`` / ``secret_key``;
 * **propagation** -- through assignments, arithmetic, subscripts,
-  f-strings, container displays/comprehensions, tuple unpacking, calls
-  (a call with a tainted argument has a tainted result) and mutating
-  method calls (``lst.append(tainted)`` taints ``lst``);
+  f-strings, container displays/comprehensions, tuple unpacking,
+  mutating method calls (``lst.append(tainted)`` taints ``lst``) and --
+  new with the whole-program engine -- through *project function
+  calls*, modelled by per-function summaries: a decrypt result passed
+  through two helpers and sent by a third is flagged at the original
+  call site with the full call chain rendered;
 * **sanitizers** -- calls whose name contains ``encrypt`` or ``encode``
   (``client_encrypt``, ``encrypt_batch``, ``wire.encode``, ...): their
   results are clean regardless of argument taint;
 * **sinks** -- ``send`` / ``client_sends`` / ``server_sends`` /
   ``send_frame`` / ``sendall`` / ``exchange`` calls: any tainted
-  argument is a finding.
+  argument is a finding, whether the sink is in this function or
+  reached through callees.
 
-The analysis is flow-sensitive over a linearized statement walk and
-runs two passes per function so loop-carried taint converges. Control
-dependence (a branch condition on a decrypted value selecting what to
-send) is deliberately out of scope: that is output leakage, priced by
-the privacy model, not a transport bug.
+Calls that do not resolve to a project function keep the historical
+conservative rule (tainted argument => tainted result), so
+``interprocedural=False`` -- resolution disabled entirely -- reproduces
+the original intra-function checker exactly; the regression corpus in
+``tests/analysis`` pins that equivalence. Control dependence (a branch
+condition on a decrypted value selecting what to send) remains out of
+scope here: that is the ``branch-on-secret`` rule's territory.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable
 
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.framework import Checker, ModuleInfo, call_name
-
-SOURCE_ATTRS = frozenset({"private_key", "secret_key"})
-SINK_NAMES = frozenset(
-    {"send", "client_sends", "server_sends", "send_frame", "sendall",
-     "exchange"}
-)
-MUTATORS = frozenset({"append", "extend", "insert", "add", "update"})
-
-
-def _is_source_call(node: ast.Call) -> bool:
-    return "decrypt" in call_name(node)
-
-
-def _is_sanitizer_call(node: ast.Call) -> bool:
-    name = call_name(node)
-    return "encrypt" in name or "encode" in name
-
-
-def _is_source_attr(node: ast.Attribute) -> bool:
-    return node.attr in SOURCE_ATTRS
-
-
-class _FunctionAnalysis:
-    """Taint state and findings for one function body."""
-
-    def __init__(self, checker: "ChannelLeakChecker", mod: ModuleInfo,
-                 func: ast.AST) -> None:
-        self.checker = checker
-        self.mod = mod
-        self.func = func
-        self.tainted: Set[str] = set()
-        self.findings: List[Finding] = []
-        self._reported_lines: Set[int] = set()
-
-    # -- expression taint ------------------------------------------------
-
-    def expr_tainted(self, node: ast.AST) -> bool:
-        """Does evaluating ``node`` produce a secret-derived value?"""
-        if isinstance(node, ast.Call):
-            if _is_sanitizer_call(node):
-                return False
-            if _is_source_call(node):
-                return True
-            # Conservative: a call fed tainted data returns tainted data.
-            return any(
-                self.expr_tainted(child)
-                for child in ast.iter_child_nodes(node)
-            )
-        if isinstance(node, ast.Attribute):
-            if _is_source_attr(node):
-                return True
-            return self.expr_tainted(node.value)
-        if isinstance(node, ast.Name):
-            return node.id in self.tainted
-        if isinstance(node, (ast.Lambda, ast.FunctionDef,
-                             ast.AsyncFunctionDef)):
-            return False
-        return any(
-            self.expr_tainted(child) for child in ast.iter_child_nodes(node)
-        )
-
-    # -- statement walk --------------------------------------------------
-
-    def run(self) -> List[Finding]:
-        body = getattr(self.func, "body", [])
-        # Two passes so taint introduced late in a loop body reaches
-        # sinks earlier in the same loop on the second pass.
-        for _ in range(2):
-            self.process_body(body)
-        return self.findings
-
-    def process_body(self, body: Sequence[ast.stmt]) -> None:
-        for stmt in body:
-            self.process_stmt(stmt)
-
-    def process_stmt(self, stmt: ast.stmt) -> None:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            return  # nested defs are analysed as their own functions
-        if isinstance(stmt, ast.Assign):
-            self.check_sinks(stmt.value)
-            tainted = self.expr_tainted(stmt.value)
-            for target in stmt.targets:
-                self.assign_target(target, tainted)
-            return
-        if isinstance(stmt, ast.AnnAssign):
-            if stmt.value is not None:
-                self.check_sinks(stmt.value)
-                self.assign_target(stmt.target, self.expr_tainted(stmt.value))
-            return
-        if isinstance(stmt, ast.AugAssign):
-            self.check_sinks(stmt.value)
-            if self.expr_tainted(stmt.value):
-                self.assign_target(stmt.target, True)
-            return
-        if isinstance(stmt, ast.Expr):
-            self.check_sinks(stmt.value)
-            self.track_mutation(stmt.value)
-            return
-        if isinstance(stmt, ast.Return):
-            if stmt.value is not None:
-                self.check_sinks(stmt.value)
-            return
-        if isinstance(stmt, ast.For):
-            self.check_sinks(stmt.iter)
-            self.assign_target(stmt.target, self.expr_tainted(stmt.iter))
-            self.process_body(stmt.body)
-            self.process_body(stmt.orelse)
-            return
-        if isinstance(stmt, ast.While):
-            self.check_sinks(stmt.test)
-            self.process_body(stmt.body)
-            self.process_body(stmt.orelse)
-            return
-        if isinstance(stmt, ast.If):
-            self.check_sinks(stmt.test)
-            self.process_body(stmt.body)
-            self.process_body(stmt.orelse)
-            return
-        if isinstance(stmt, ast.With):
-            for item in stmt.items:
-                self.check_sinks(item.context_expr)
-                if item.optional_vars is not None:
-                    self.assign_target(
-                        item.optional_vars,
-                        self.expr_tainted(item.context_expr),
-                    )
-            self.process_body(stmt.body)
-            return
-        if isinstance(stmt, ast.Try):
-            self.process_body(stmt.body)
-            for handler in stmt.handlers:
-                self.process_body(handler.body)
-            self.process_body(stmt.orelse)
-            self.process_body(stmt.finalbody)
-            return
-        # Raise/Assert/Pass/Delete/Global/...: only scan for sink calls.
-        for child in ast.iter_child_nodes(stmt):
-            self.check_sinks(child)
-
-    def assign_target(self, target: ast.AST, tainted: bool) -> None:
-        if isinstance(target, ast.Name):
-            if tainted:
-                self.tainted.add(target.id)
-            else:
-                self.tainted.discard(target.id)
-        elif isinstance(target, (ast.Tuple, ast.List)):
-            for element in target.elts:
-                self.assign_target(element, tainted)
-        elif isinstance(target, ast.Starred):
-            self.assign_target(target.value, tainted)
-        elif isinstance(target, (ast.Subscript, ast.Attribute)) and tainted:
-            # Writing a tainted value into a container/field taints the
-            # whole container name (weak update).
-            base = target.value
-            while isinstance(base, (ast.Subscript, ast.Attribute)):
-                base = base.value
-            if isinstance(base, ast.Name):
-                self.tainted.add(base.id)
-
-    def track_mutation(self, expr: ast.AST) -> None:
-        """``lst.append(tainted)`` and friends taint ``lst``."""
-        if not isinstance(expr, ast.Call):
-            return
-        func = expr.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in MUTATORS
-            and isinstance(func.value, ast.Name)
-            and any(self.expr_tainted(arg) for arg in expr.args)
-        ):
-            self.tainted.add(func.value.id)
-
-    # -- sinks ------------------------------------------------------------
-
-    def check_sinks(self, expr: ast.AST) -> None:
-        for node in ast.walk(expr):
-            if not isinstance(node, ast.Call):
-                continue
-            if call_name(node) not in SINK_NAMES:
-                continue
-            for arg in list(node.args) + [
-                kw.value for kw in node.keywords
-            ]:
-                if self.expr_tainted(arg):
-                    line = node.lineno
-                    if line in self._reported_lines:
-                        break
-                    self._reported_lines.add(line)
-                    func_name = getattr(self.func, "name", "<lambda>")
-                    self.findings.append(
-                        self.checker.finding(
-                            self.mod,
-                            node,
-                            f"value derived from decrypt()/private-key "
-                            f"material flows into "
-                            f"{call_name(node)}() in {func_name}() without "
-                            f"passing through encrypt/encode",
-                        )
-                    )
-                    break
+from repro.analysis.framework import Checker, ModuleInfo
+from repro.analysis.taint import LeakEvent, engine_for
 
 
 class ChannelLeakChecker(Checker):
@@ -241,12 +49,47 @@ class ChannelLeakChecker(Checker):
     severity = Severity.ERROR
     description = (
         "decrypted or private-key-derived values may not flow into channel "
-        "sends or transport writes unless re-encrypted or wire-encoded in "
-        "the same function"
+        "sends or transport writes unless re-encrypted or wire-encoded, "
+        "across function boundaries"
     )
+
+    def __init__(self, interprocedural: bool = True) -> None:
+        self.interprocedural = interprocedural
 
     def check(self, mod: ModuleInfo) -> Iterable[Finding]:
         if not mod.in_scope():
             return
-        for func in mod.functions():
-            yield from _FunctionAnalysis(self, mod, func).run()
+        engine = engine_for(
+            self._program_for(mod), interprocedural=self.interprocedural
+        )
+        leaks, _ = engine.events_for(mod.module)
+        for event in leaks:
+            yield self._finding_for(mod, event)
+
+    def _program_for(self, mod: ModuleInfo):
+        if self.program is not None \
+                and mod.module in self.program.modules:
+            return self.program
+        from repro.analysis.callgraph import Program
+
+        return Program.build([mod])
+
+    def _finding_for(self, mod: ModuleInfo, event: LeakEvent) -> Finding:
+        message = (
+            f"value derived from decrypt()/private-key material flows "
+            f"into {event.sink}() in {event.func.name}() without passing "
+            f"through encrypt/encode"
+        )
+        if len(event.chain) > 1:
+            rendered = " -> ".join(event.chain)
+            message += f" [call chain: {rendered}]"
+        return Finding(
+            rule=self.rule,
+            severity=self.severity,
+            path=mod.path,
+            module=mod.module,
+            line=event.line,
+            message=message,
+            snippet=mod.line_text(event.line),
+            chain=event.chain if len(event.chain) > 1 else (),
+        )

@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
+from typing import Tuple
 
 
 class Severity(enum.Enum):
@@ -43,6 +44,10 @@ class Finding:
         Human-readable description of what is wrong and why it matters.
     snippet:
         The stripped source line, for fingerprinting and display.
+    chain:
+        For interprocedural findings, the qualified-name call chain
+        from the flagged site to the sink (or from a thread entry point
+        to the flagged write). Empty for purely local findings.
     """
 
     rule: str
@@ -52,15 +57,20 @@ class Finding:
     line: int
     message: str
     snippet: str = ""
+    chain: Tuple[str, ...] = ()
 
     def fingerprint(self) -> str:
         """Location-tolerant identity of this finding.
 
         Derived from the module, rule and offending source text rather
         than the line number, so unrelated edits above a baselined
-        finding do not resurrect it.
+        finding do not resurrect it. Interprocedural findings also hash
+        their call chain (qualnames, no line numbers): the same send
+        reached through a different path is different debt.
         """
         basis = f"{self.module}::{self.rule}::{self.snippet}"
+        if self.chain:
+            basis += "::" + "->".join(self.chain)
         return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
 
     def render(self) -> str:
@@ -80,6 +90,7 @@ class Finding:
             "line": self.line,
             "message": self.message,
             "snippet": self.snippet,
+            "chain": list(self.chain),
             "fingerprint": self.fingerprint(),
         }
 

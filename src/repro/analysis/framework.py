@@ -13,8 +13,11 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (
+    Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple,
+)
 
 from repro.analysis.findings import Finding, Severity
 
@@ -120,17 +123,60 @@ def _parse_pragmas(lines: List[str]) -> Dict[int, Set[str]]:
     return allows
 
 
+#: Files whose presence marks a directory as the repository root, for
+#: :func:`repo_relative` path normalization.
+_REPO_MARKERS = ("pyproject.toml", "setup.py", ".git")
+
+
+@lru_cache(maxsize=512)
+def _repo_root_for(directory: str) -> Optional[str]:
+    """Nearest ancestor of ``directory`` (inclusive) that looks like a
+    repository root, or ``None``."""
+    current = Path(directory)
+    for candidate in (current, *current.parents):
+        if any((candidate / marker).exists() for marker in _REPO_MARKERS):
+            return str(candidate)
+    return None
+
+
+def repo_relative(path: Path) -> Path:
+    """``path`` relative to its repository root when one is found.
+
+    This is what keeps module names -- and therefore baseline
+    fingerprints -- identical between a local checkout and CI: an
+    absolute path like ``/home/ci/build/tests/analysis/x.py`` and a
+    relative ``tests/analysis/x.py`` both normalize to the same
+    repo-relative form. Paths outside any repository pass through
+    unchanged.
+    """
+    try:
+        resolved = path.resolve()
+    except OSError:  # pragma: no cover - unresolvable paths pass through
+        return path
+    root = _repo_root_for(str(resolved.parent))
+    if root is not None:
+        try:
+            return resolved.relative_to(root)
+        except ValueError:  # pragma: no cover - symlinked out of root
+            return path
+    return path
+
+
 def module_name_for(path: Path) -> str:
     """Dotted module name for ``path``.
 
-    Uses the path segments after the last ``src`` component when one is
-    present (``src/repro/smc/wire.py`` -> ``repro.smc.wire``), so names
-    are stable no matter which directory the linter is invoked from.
+    The path is first normalized to be repository-relative (see
+    :func:`repo_relative`), then the segments after the last ``src``
+    component are used when one is present (``src/repro/smc/wire.py``
+    -> ``repro.smc.wire``), so names are stable no matter which
+    directory the linter is invoked from *and* which machine it runs
+    on.
     """
-    parts = list(path.with_suffix("").parts)
+    normalized = repo_relative(path)
+    parts = list(normalized.with_suffix("").parts)
     if "src" in parts:
         parts = parts[len(parts) - parts[::-1].index("src"):]
-    while parts and parts[0] in (".", "/", path.anchor):
+    while parts and parts[0] in (".", "/", normalized.anchor):
         parts = parts[1:]
     if parts and parts[-1] == "__init__":
         parts = parts[:-1]
@@ -158,17 +204,33 @@ class Checker:
 
     Subclasses set ``rule``, ``severity`` and ``description`` and
     implement :meth:`check`, yielding findings for one parsed module.
+
+    Whole-program checkers additionally read :attr:`program`: the
+    driver binds the :class:`~repro.analysis.callgraph.Program` built
+    over every linted module before the check phase starts, so a
+    checker sees the full call graph even though it is invoked one
+    module at a time. Purely local checkers ignore it.
     """
 
     rule: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
 
+    #: The whole-program index, bound by the driver (phase one of the
+    #: two-phase run). ``None`` means the checker runs standalone on a
+    #: single module and should fall back to a solo program if needed.
+    program = None
+
+    def bind(self, program) -> None:
+        """Attach the whole-program index for this lint run."""
+        self.program = program
+
     def check(self, mod: ModuleInfo) -> Iterable[Finding]:
         raise NotImplementedError
 
     def finding(
-        self, mod: ModuleInfo, node: ast.AST, message: str
+        self, mod: ModuleInfo, node: ast.AST, message: str,
+        chain: Sequence[str] = (),
     ) -> Finding:
         """Build a finding anchored at ``node``'s source line."""
         line = getattr(node, "lineno", 1)
@@ -180,6 +242,7 @@ class Checker:
             line=line,
             message=message,
             snippet=mod.line_text(line),
+            chain=tuple(chain),
         )
 
 
@@ -187,12 +250,22 @@ def check_module(
     mod: ModuleInfo,
     checkers: Optional[Sequence[Checker]] = None,
     respect_pragmas: bool = True,
+    program=None,
 ) -> List[Finding]:
-    """Run ``checkers`` over one module, honouring suppression pragmas."""
-    from repro.analysis.checkers import ALL_CHECKERS
+    """Run ``checkers`` over one module, honouring suppression pragmas.
 
+    When no pre-built ``program`` is supplied (standalone/test use),
+    the module is indexed as a program of one so the whole-program
+    checkers still run -- with intra-module resolution only.
+    """
+    from repro.analysis.checkers import ALL_CHECKERS
+    from repro.analysis.callgraph import Program
+
+    if program is None:
+        program = Program.build([mod])
     results: List[Finding] = []
     for checker in checkers if checkers is not None else ALL_CHECKERS:
+        checker.bind(program)
         for finding in checker.check(mod):
             if respect_pragmas and mod.is_suppressed(
                 finding.rule, finding.line
@@ -202,34 +275,119 @@ def check_module(
     return results
 
 
+def _parse_error_finding(path: Path, error: Exception) -> Finding:
+    return Finding(
+        rule="parse-error",
+        severity=Severity.ERROR,
+        path=str(path),
+        module=module_name_for(path),
+        line=getattr(error, "lineno", None) or 1,
+        message=f"cannot parse file: {error}",
+    )
+
+
+def _parse_one(raw: str):
+    """Process-pool worker: parse one file into a picklable result."""
+    path = Path(raw)
+    try:
+        return ("ok", ModuleInfo.from_path(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as error:
+        return ("err", _parse_error_finding(path, error))
+
+
+#: Below this many files a process pool costs more than it saves.
+_PARALLEL_THRESHOLD = 16
+
+
+def parse_modules(
+    paths: Iterable[str], jobs: Optional[int] = None
+) -> Tuple[List[ModuleInfo], List[Finding]]:
+    """Phase one: parse every python file under ``paths``.
+
+    Returns the parsed modules plus ``parse-error`` findings for
+    unparseable files (a syntax error cannot silently shrink the lint
+    surface). ``jobs`` > 1 fans parsing out over a process pool --
+    parse results (AST included) are picklable -- falling back to
+    serial parsing when the pool cannot start.
+    """
+    files = list(iter_python_files(paths))
+    if jobs is None:
+        import os
+
+        jobs = os.cpu_count() or 1
+    modules: List[ModuleInfo] = []
+    errors: List[Finding] = []
+    if jobs > 1 and len(files) >= _PARALLEL_THRESHOLD:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(
+                    pool.map(_parse_one, [str(f) for f in files],
+                             chunksize=8)
+                )
+        except (OSError, ImportError, RuntimeError):
+            outcomes = None  # pool unavailable (sandbox): parse serially
+        if outcomes is not None:
+            for path, outcome in zip(files, outcomes):
+                if outcome[0] == "ok":
+                    mod = outcome[1]
+                    mod.path = str(path)  # keep the as-given path
+                    modules.append(mod)
+                else:
+                    errors.append(outcome[1])
+            return modules, errors
+    for path in files:
+        outcome = _parse_one(str(path))
+        if outcome[0] == "ok":
+            modules.append(outcome[1])
+        else:
+            errors.append(outcome[1])
+    return modules, errors
+
+
+def check_program(
+    modules: Sequence[ModuleInfo],
+    program,
+    checkers: Optional[Sequence[Checker]] = None,
+    respect_pragmas: bool = True,
+    only_modules: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Phase two: run the checkers over already-parsed modules.
+
+    ``only_modules`` restricts which modules *report* findings (the
+    ``--changed`` fast path); the program -- and therefore summaries
+    and reachability -- always covers the full parsed set.
+    """
+    results: List[Finding] = []
+    for mod in modules:
+        if only_modules is not None and mod.module not in only_modules:
+            continue
+        results.extend(
+            check_module(mod, checkers, respect_pragmas, program=program)
+        )
+    return results
+
+
 def run_checks(
     paths: Iterable[str],
     checkers: Optional[Sequence[Checker]] = None,
     respect_pragmas: bool = True,
+    jobs: int = 1,
 ) -> List[Finding]:
     """Lint every python file under ``paths``; the library entry point.
 
-    Unparseable files surface as ``parse-error`` findings rather than
-    exceptions, so a syntax error cannot silently shrink the lint
-    surface.
+    Runs the two phases back to back: parse (optionally parallel) and
+    build the whole-program index, then check each module against it.
     """
-    results: List[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            mod = ModuleInfo.from_path(path)
-        except (SyntaxError, UnicodeDecodeError, OSError) as error:
-            results.append(
-                Finding(
-                    rule="parse-error",
-                    severity=Severity.ERROR,
-                    path=str(path),
-                    module=module_name_for(path),
-                    line=getattr(error, "lineno", None) or 1,
-                    message=f"cannot parse file: {error}",
-                )
-            )
-            continue
-        results.extend(check_module(mod, checkers, respect_pragmas))
+    from repro.analysis.callgraph import Program
+
+    modules, results = parse_modules(paths, jobs=jobs)
+    program = Program.build(modules)
+    results = list(results)
+    results.extend(
+        check_program(modules, program, checkers, respect_pragmas)
+    )
     results.sort(key=lambda f: (f.path, f.line, f.rule))
     return results
 

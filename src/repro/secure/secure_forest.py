@@ -187,6 +187,10 @@ class SecureRandomForestClassifier(SecureClassifier):
             zero_position = None
             for position, cost_ct in enumerate(blinded):
                 ctx.trace.count(Op.PAILLIER_DECRYPT)
+                # Designed disclosure: the client learns which permuted
+                # leaf slot matched -- that position is its protocol
+                # output for this tree.
+                # repro: allow[branch-on-secret]
                 if ctx.paillier.private_key.decrypt_raw(cost_ct) == 0:
                     zero_position = position
                     break

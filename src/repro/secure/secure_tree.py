@@ -246,6 +246,10 @@ class SecureDecisionTreeClassifier(SecureClassifier):
         # the label paired with the single zero cost.
         raw_costs = ctx.client_decrypt_batch(payload[0::2], signed=False)
         for pair_index, raw in enumerate(raw_costs):
+            # Designed disclosure: the client learns which permuted path
+            # cost is zero -- that index selects its own classification
+            # output.
+            # repro: allow[branch-on-secret]
             if raw == 0:
                 ctx.trace.count(Op.PAILLIER_DECRYPT)
                 return int(

@@ -197,6 +197,9 @@ def compare_encrypted(
     )
 
     # Server reassembles borrow = client_share XOR server_share linearly.
+    # The share is the server's own coin flip (SharedBit is secret-coarse
+    # in the taint model); branching on it reveals nothing about z.
+    # repro: allow[branch-on-secret]
     if borrow.server_share:
         ctx.trace.count(Op.PAILLIER_SCALAR_MUL)
         ctx.trace.count(Op.PAILLIER_ADD)
@@ -220,10 +223,18 @@ def compare_encrypted_client_learns(
     """
     d_high, r_high, borrow, _ = _encrypted_z_bit(ctx, z_encrypted, bit_length)
     ctx.channel.reset_direction()
+    # Designed disclosure: this variant exists so the *client* learns the
+    # bit. r_high is the server's own blinding quotient and server_share
+    # its own coin flip -- server-chosen randomness, not z-derived data
+    # (the taint model cannot see through SharedBit's object coarseness).
+    # repro: allow[channel-leak]
     r_high_sent, server_share_sent = ctx.channel.server_sends(
         [r_high, borrow.server_share]
     )
     bit = d_high - r_high_sent - (borrow.client_share ^ server_share_sent)
+    # The reconstructed bit is the protocol's output for the client;
+    # validating it is the point.
+    # repro: allow[branch-on-secret]
     if bit not in (0, 1):
         raise ComparisonError(
             f"comparison reconstruction produced {bit}; inputs exceeded "
@@ -355,6 +366,12 @@ def compare_encrypted_many(
     r_lows = [noise & modulus_mask for noise in noises]
     r_highs = [noise >> bit_length for noise in noises]
 
+    # The d_low bits enter the batched DGK comparison, which ships them
+    # only DGK-encrypted (and the server's replies multiplicatively
+    # blinded). The per-parameter summary proves this for dgk_compare;
+    # here client and server values share one `pairs` parameter, which
+    # is coarser than the taint model can split.
+    # repro: allow[channel-leak]
     borrows = dgk_compare_many(
         ctx, list(zip(d_lows, r_lows)), bit_length
     )
@@ -371,6 +388,8 @@ def compare_encrypted_many(
     for index, (borrow, r_high) in enumerate(zip(borrows, r_highs)):
         d_high_enc = uploads[2 * index]
         borrow_client_enc = uploads[2 * index + 1]
+        # Server's own coin flip, as in compare_encrypted above.
+        # repro: allow[branch-on-secret]
         if borrow.server_share:
             ctx.trace.count(Op.PAILLIER_SCALAR_MUL)
             ctx.trace.count(Op.PAILLIER_ADD)

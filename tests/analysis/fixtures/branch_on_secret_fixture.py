@@ -1,0 +1,57 @@
+"""Fixture for the ``branch-on-secret`` rule (linted as
+``repro.smc.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding. This file
+is lint test data -- it is never imported.
+"""
+
+
+def branches_on_decrypted(ctx, ciphertext):
+    revealed = ctx.client_decrypt(ciphertext)
+    if revealed > 0:  # BAD
+        return 1
+    return 0
+
+
+def loops_on_decrypted(ctx, ciphertext):
+    raw = ctx.paillier.private_key.decrypt_raw(ciphertext)
+    while raw:  # BAD
+        raw -= 1
+    return raw
+
+
+def ternary_on_decrypted(ctx, ciphertext, low, high):
+    revealed = ctx.client_decrypt(ciphertext)
+    return high if revealed else low  # BAD
+
+
+def helper_returns_secret(ctx, ciphertext):
+    return ctx.client_decrypt(ciphertext)
+
+
+def branches_via_helper(ctx, ciphertext):
+    bit = helper_returns_secret(ctx, ciphertext)
+    if bit:  # BAD
+        return "one"
+    return "zero"
+
+
+def branch_on_public_is_fine(threshold, value):
+    if value > threshold:
+        return 1
+    return 0
+
+
+def reencrypted_compare_is_fine(ctx, ciphertext):
+    fresh = ctx.client_encrypt(ctx.client_decrypt(ciphertext))
+    if fresh is None:
+        return 1
+    return 0
+
+
+def pragma_documents_designed_disclosure(ctx, ciphertext):
+    bit = ctx.client_decrypt(ciphertext)
+    # repro: allow[branch-on-secret]
+    if bit:
+        return "disclosed-by-design"
+    return "zero"

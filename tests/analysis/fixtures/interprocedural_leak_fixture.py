@@ -1,0 +1,48 @@
+"""Interprocedural regression corpus for ``channel-leak``.
+
+A decrypt result passes through two value helpers, then a two-deep
+send helper ships it: four function boundaries between the decrypt and
+the socket. The historical intra-function pass provably misses this
+(every function looks innocent alone); the summary-based pass must flag
+it at the hand-off in ``three_hop_leak`` with the full call chain. The
+test in ``tests/analysis/test_whole_program.py`` asserts both halves.
+
+This file is lint test data -- it is never imported.
+"""
+
+
+def reveal(ctx, ciphertext):
+    # Innocent alone: returns its decrypt, sends nothing.
+    return ctx.client_decrypt(ciphertext)
+
+
+def shift(value, amount):
+    # Innocent alone: pure arithmetic on its parameter.
+    return value >> amount
+
+
+def pack(value):
+    # Innocent alone: wraps its parameter in a list.
+    return [value, 0]
+
+
+def transmit(ctx, payload):
+    # Innocent alone: forwards its parameter.
+    forward(ctx, payload)
+
+
+def forward(ctx, payload):
+    # Innocent alone: sends its parameter -- taint decides legality.
+    ctx.channel.client_sends(payload)
+
+
+def three_hop_leak(ctx, ciphertext):
+    secret = reveal(ctx, ciphertext)
+    shifted = shift(secret, 2)
+    boxed = pack(shifted)
+    transmit(ctx, boxed)  # LEAK - only visible interprocedurally
+
+
+def three_hop_safe(ctx, ciphertext):
+    secret = reveal(ctx, ciphertext)
+    transmit(ctx, ctx.client_encrypt(secret))

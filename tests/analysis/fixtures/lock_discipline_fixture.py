@@ -1,0 +1,70 @@
+"""Fixture for the ``lock-discipline`` rule (linted as
+``repro.serving.fixture``).
+
+Lines marked ``# BAD`` must each produce exactly one finding. This file
+is lint test data -- it is never imported.
+"""
+
+import threading
+
+
+class GuardedServer:
+    """Thread-target flavour: state raced via ``Thread(target=...)``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._results = {}
+        self._scratch = 0
+
+    def start(self):
+        worker = threading.Thread(target=self._worker, daemon=True)
+        worker.start()
+
+    def _worker(self):
+        with self._lock:
+            self._admitted += 1
+        self._record_unsafe()
+
+    def _record_unsafe(self):
+        self._admitted += 1  # BAD
+        self._results["latest"] = 1  # BAD
+        self._scratch = 5  # never lock-guarded anywhere: not a finding
+
+    def _record_safe(self):
+        with self._lock:
+            self._results["latest"] = 2
+
+    def reset(self):
+        # Unlocked write, but not reachable from any thread entry
+        # point -- single-threaded setup code stays in scope-free peace.
+        self._admitted = 0
+
+
+class PooledCounter:
+    """Executor flavour: state raced via ``pool.submit``."""
+
+    def __init__(self, pool):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._pool = pool
+
+    def kick(self):
+        self._pool.submit(self._bump)
+
+    def _bump(self):
+        self._count += 1  # BAD
+
+    def _bump_locked(self):
+        with self._lock:
+            self._count += 1
+
+
+class Unlocked:
+    """No lock attribute at all: nothing to infer, nothing to flag."""
+
+    def __init__(self):
+        self._value = 0
+
+    def set(self, value):
+        self._value = value

@@ -61,13 +61,18 @@ FIXTURE_MODULES = {
                           "repro/smc"),
     "mutable-default": ("mutable_defaults_fixture.py", "repro.util.fixture",
                         "repro/util"),
+    "lock-discipline": ("lock_discipline_fixture.py",
+                        "repro.serving.fixture", "repro/serving"),
+    "branch-on-secret": ("branch_on_secret_fixture.py",
+                         "repro.smc.fixture", "repro/smc"),
 }
 
-#: The six rules the issue mandates (mutable-default rides along as a
-#: warning-severity extra).
+#: The rules whose seeded violations must fail the CI gate
+#: (mutable-default rides along as a warning-severity extra).
 MANDATED_RULES = [
     "rng-hygiene", "channel-leak", "wire-tags", "protocol-entry",
-    "ciphertext-arith", "exception-hygiene",
+    "ciphertext-arith", "exception-hygiene", "lock-discipline",
+    "branch-on-secret",
 ]
 
 _MARKER = re.compile(r"#\s*(BAD(?:-[A-Z]+)?(?:\s+BAD(?:-[A-Z]+)?)*)\s*$")

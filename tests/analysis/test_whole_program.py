@@ -1,0 +1,322 @@
+"""Tests for the whole-program layer: call graph, interprocedural
+taint, the ``--changed``/``--graph``/``--rule``/``--jobs`` CLI modes,
+repo-relative fingerprints, and the full-repo wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleInfo, run_checks
+from repro.analysis.baseline import load_baseline
+from repro.analysis.callgraph import Program
+from repro.analysis.checkers.channel_leak import ChannelLeakChecker
+from repro.analysis.cli import main as lint_main
+from repro.analysis.framework import check_module, module_name_for, parse_modules
+from repro.analysis.taint import SECRET, engine_for
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Wall-clock ceiling for a full-repo lint (the ISSUE pins <10s on CI).
+FULL_LINT_BUDGET_SECONDS = 10.0
+
+
+def module(source: str, name: str, path: str = "<memory>") -> ModuleInfo:
+    return ModuleInfo.from_source(source, module=name, path=path)
+
+
+class TestCallGraph:
+    def build(self):
+        lib = module(
+            "def helper(x):\n"
+            "    return x + 1\n"
+            "\n"
+            "def unused():\n"
+            "    return 0\n",
+            "repro.smc.lib",
+        )
+        app = module(
+            "from repro.smc.lib import helper\n"
+            "import threading\n"
+            "\n"
+            "class Runner:\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self._work).start()\n"
+            "    def _work(self):\n"
+            "        return helper(2)\n",
+            "repro.smc.app",
+        )
+        return Program.build([lib, app]), lib, app
+
+    def test_edges_and_reverse_edges(self):
+        program, _, _ = self.build()
+        work = "repro.smc.app.Runner._work"
+        assert "repro.smc.lib.helper" in program.edges[work]
+        assert work in program.redges["repro.smc.lib.helper"]
+
+    def test_thread_roots_and_reachability(self):
+        program, _, _ = self.build()
+        roots = program.thread_roots
+        assert roots == {"repro.smc.app.Runner._work"}
+        reachable = program.reachable_from_threads()
+        assert "repro.smc.lib.helper" in reachable
+        assert "repro.smc.lib.unused" not in reachable
+
+    def test_thread_path_rendering(self):
+        program, _, _ = self.build()
+        chain = program.thread_path_to("repro.smc.lib.helper")
+        assert chain == [
+            "repro.smc.app.Runner._work", "repro.smc.lib.helper",
+        ]
+
+    def test_module_dependencies_and_changed_closure(self):
+        program, _, _ = self.build()
+        assert "repro.smc.lib" in program.module_edges["repro.smc.app"]
+        # Editing lib must re-lint app (its reverse dependent).
+        closure = program.dependent_modules({"repro.smc.lib"})
+        assert closure == {"repro.smc.lib", "repro.smc.app"}
+        # Editing the leaf app re-lints only itself.
+        assert program.dependent_modules({"repro.smc.app"}) \
+            == {"repro.smc.app"}
+
+    def test_graph_dump_shape(self):
+        program, _, _ = self.build()
+        doc = program.to_dict()
+        assert set(doc) == {
+            "functions", "thread_roots", "module_dependencies",
+        }
+        entry = doc["functions"]["repro.smc.app.Runner._work"]
+        assert entry["calls"] == ["repro.smc.lib.helper"]
+
+
+class TestInterproceduralTaint:
+    def corpus(self) -> ModuleInfo:
+        source = (FIXTURES / "interprocedural_leak_fixture.py").read_text(
+            encoding="utf-8"
+        )
+        return module(source, "repro.smc.leak_corpus",
+                      path="interprocedural_leak_fixture.py")
+
+    def leak_line(self, mod: ModuleInfo) -> int:
+        for number, text in enumerate(mod.lines, start=1):
+            if "# LEAK" in text:
+                return number
+        raise AssertionError("corpus lost its # LEAK marker")
+
+    def test_old_intra_function_pass_is_provably_blind(self):
+        mod = self.corpus()
+        findings = check_module(
+            mod, checkers=[ChannelLeakChecker(interprocedural=False)]
+        )
+        assert findings == []
+
+    def test_interprocedural_pass_flags_the_multi_hop_leak(self):
+        mod = self.corpus()
+        findings = check_module(
+            mod, checkers=[ChannelLeakChecker()]
+        )
+        assert [f.line for f in findings] == [self.leak_line(mod)]
+        finding = findings[0]
+        assert finding.rule == "channel-leak"
+        # The full call chain is rendered and carried on the finding.
+        assert finding.chain == (
+            "repro.smc.leak_corpus.three_hop_leak",
+            "repro.smc.leak_corpus.transmit",
+            "repro.smc.leak_corpus.forward",
+        )
+        assert "three_hop_leak -> " in finding.message
+        assert "forward" in finding.message
+
+    def test_chain_is_part_of_the_fingerprint(self):
+        mod = self.corpus()
+        finding = check_module(
+            mod, checkers=[ChannelLeakChecker()]
+        )[0]
+        stripped = finding.__class__(
+            **{**finding.__dict__, "chain": ()}
+        )
+        assert finding.fingerprint() != stripped.fingerprint()
+
+    def test_summaries_expose_secret_returns(self):
+        mod = self.corpus()
+        program = Program.build([mod])
+        engine = engine_for(program)
+        reveal = engine.summaries["repro.smc.leak_corpus.reveal"]
+        assert SECRET in reveal.return_labels
+        shift = engine.summaries["repro.smc.leak_corpus.shift"]
+        assert shift.return_labels == {0, 1}
+        forward = engine.summaries["repro.smc.leak_corpus.forward"]
+        assert 1 in forward.sends_param
+
+
+class TestRepoRelativeFingerprints:
+    def test_absolute_path_inside_repo_is_relativized(self):
+        absolute = REPO / "tests" / "analysis" / "test_linter.py"
+        name = module_name_for(absolute)
+        assert name == "tests.analysis.test_linter"
+
+    def test_absolute_and_relative_agree(self):
+        absolute = REPO / "src" / "repro" / "smc" / "comparison.py"
+        relative = Path("src/repro/smc/comparison.py")
+        assert module_name_for(absolute) == module_name_for(relative) \
+            == "repro.smc.comparison"
+
+    def test_committed_baseline_has_no_absolute_modules(self):
+        baseline = REPO / ".repro-lint-baseline.json"
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        for entry in payload["findings"].values():
+            assert not str(entry.get("module", "")).startswith("/")
+
+
+class TestParallelParsing:
+    def seed_tree(self, tmp_path: Path, files: int = 20) -> Path:
+        src = tmp_path / "src" / "repro" / "smc"
+        src.mkdir(parents=True)
+        for index in range(files):
+            (src / f"mod{index:02d}.py").write_text(
+                "import random\n" if index % 2 else "X = 1\n",
+                encoding="utf-8",
+            )
+        return tmp_path / "src"
+
+    def test_jobs_parity_with_serial(self, tmp_path):
+        src = self.seed_tree(tmp_path)
+        serial = run_checks([str(src)], jobs=1)
+        parallel = run_checks([str(src)], jobs=2)
+        assert [f.to_dict() for f in serial] == [
+            f.to_dict() for f in parallel
+        ]
+
+    def test_parse_errors_survive_the_pool(self, tmp_path):
+        src = self.seed_tree(tmp_path)
+        (src / "repro" / "smc" / "broken.py").write_text(
+            "def oops(:\n", encoding="utf-8"
+        )
+        modules, errors = parse_modules([str(src)], jobs=2)
+        assert len(modules) == 20
+        assert [f.rule for f in errors] == ["parse-error"]
+
+
+class TestChangedMode:
+    def git(self, *args: str, cwd: Path) -> None:
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            cwd=str(cwd), check=True, capture_output=True,
+        )
+
+    def seed_repo(self, tmp_path: Path) -> Path:
+        smc = tmp_path / "src" / "repro" / "smc"
+        smc.mkdir(parents=True)
+        (smc / "base.py").write_text(
+            "def helper(x):\n    return x\n", encoding="utf-8"
+        )
+        (smc / "caller.py").write_text(
+            "from repro.smc.base import helper\n"
+            "def use(ctx, c):\n"
+            "    return helper(ctx.client_decrypt(c))\n",
+            encoding="utf-8",
+        )
+        (smc / "standalone.py").write_text(
+            "import random\n", encoding="utf-8"
+        )
+        self.git("init", "-q", cwd=tmp_path)
+        self.git("add", "-A", cwd=tmp_path)
+        self.git("commit", "-qm", "seed", cwd=tmp_path)
+        return smc
+
+    def test_changed_lints_dependents_not_the_world(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        smc = self.seed_repo(tmp_path)
+        # Introduce a leak in base.py: helper now sends its argument.
+        (smc / "base.py").write_text(
+            "def helper(ctx, x):\n"
+            "    ctx.channel.client_sends(x)\n", encoding="utf-8"
+        )
+        (smc / "caller.py").write_text(
+            "from repro.smc.base import helper\n"
+            "def use(ctx, c):\n"
+            "    return helper(ctx, ctx.client_decrypt(c))\n",
+            encoding="utf-8",
+        )
+        self.git("add", "-A", cwd=tmp_path)
+        self.git("commit", "-qm", "leak", cwd=tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = lint_main(["src", "--changed", "HEAD~1"])
+        out = capsys.readouterr()
+        assert code == 1
+        # caller.py is a reverse dependent of the edited base.py: its
+        # interprocedural leak is reported...
+        assert "caller.py" in out.out
+        # ...while the untouched standalone.py (rng-hygiene bait) is
+        # skipped entirely by the fast path.
+        assert "standalone.py" not in out.out
+        assert "2 changed module(s)" in out.err or \
+            "1 changed module(s)" in out.err
+
+    def test_changed_with_no_edits_is_clean(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self.seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["src", "--changed", "HEAD"]) == 0
+
+    def test_bad_ref_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        self.seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(
+            ["src", "--changed", "no-such-ref-anywhere"]
+        ) == 2
+
+
+class TestCliWholeProgram:
+    def seed(self, tmp_path: Path) -> Path:
+        src = tmp_path / "src" / "repro" / "smc"
+        src.mkdir(parents=True)
+        (src / "noisy.py").write_text("import random\n", encoding="utf-8")
+        return tmp_path / "src"
+
+    def test_graph_dump(self, tmp_path, capsys):
+        src = self.seed(tmp_path)
+        assert lint_main([str(src), "--graph"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {
+            "functions", "thread_roots", "module_dependencies",
+        }
+
+    def test_rule_filter_runs_only_that_rule(self, tmp_path, capsys):
+        src = self.seed(tmp_path)
+        assert lint_main([str(src), "--rule", "channel-leak"]) == 0
+        assert lint_main([str(src), "--rule", "rng-hygiene"]) == 1
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        src = self.seed(tmp_path)
+        assert lint_main([str(src), "--rule", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_update_baseline_freezes_in_place(self, tmp_path, capsys):
+        src = self.seed(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(src), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert load_baseline(str(baseline))
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 0
+
+
+@pytest.mark.slow
+class TestWallClockBudget:
+    def test_full_repo_lint_under_budget(self):
+        start = time.monotonic()
+        run_checks([str(REPO / "src")], jobs=1)
+        elapsed = time.monotonic() - start
+        assert elapsed < FULL_LINT_BUDGET_SECONDS, (
+            f"full-repo lint took {elapsed:.1f}s "
+            f"(budget {FULL_LINT_BUDGET_SECONDS}s)"
+        )

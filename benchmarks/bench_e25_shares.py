@@ -1,0 +1,142 @@
+"""E25 -- Extension: secret-sharing online phase vs the Paillier stack.
+
+The shares protocol backend moves the expensive correlated-randomness
+dealing into an offline phase (the triple store) and answers each
+online query with ring arithmetic only. This bench quantifies the
+redesign's headline claim on the linear classifier:
+
+1. **Online per-query wall time**: N pure-SMC queries through the
+   Paillier backend vs the shares backend with an exactly provisioned
+   triple store (``SharesBackend.query_requirements`` makes the
+   consumption data-independent, so "exactly" is exact, not a bound).
+2. **The offline bill**: triple-store provisioning time and distributed
+   bytes, reported next to the online win so the speedup cannot hide
+   the precomputation.
+3. **Wire traffic**: per-query online bytes for both backends.
+
+Results merge into ``BENCH_crypto.json`` under ``e25_shares``.
+
+Gate: the shares online phase must be >= 10x faster per query than the
+Paillier online phase, with identical labels.
+"""
+
+import os
+import time
+
+from repro.bench import Table, update_bench_json
+from repro.core.session import SessionConfig
+from repro.secure.backends import make_protocol_backend
+from repro.smc.context import make_context
+
+from conftest import BENCH_DGK_BITS, BENCH_PAILLIER_BITS, bench_config
+
+QUERIES = 12
+
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_crypto.json"
+)
+
+
+def _session(backend_name):
+    return SessionConfig(
+        seed=25,
+        paillier_bits=BENCH_PAILLIER_BITS,
+        dgk_bits=BENCH_DGK_BITS,
+        dgk_plaintext_bits=16,
+        protocol_backend=backend_name,
+    )
+
+
+def test_e25_shares_online_speedup(warfarin_train_test):
+    from repro.api import PrivacyAwareClassifier
+
+    train, test = warfarin_train_test
+    pipeline = PrivacyAwareClassifier(bench_config("linear")).fit(train)
+    secure = pipeline.secure_model
+    rows = test.X[:QUERIES]
+
+    # -- Paillier online phase (all work is online by construction) --
+    paillier_ctx = make_context(config=_session("paillier"))
+    start = time.perf_counter()
+    paillier_labels = [secure.classify(paillier_ctx, row) for row in rows]
+    paillier_online_s = (time.perf_counter() - start) / QUERIES
+    paillier_bytes = paillier_ctx.trace.total_bytes / QUERIES
+
+    # -- Shares offline phase: provision the store exactly --
+    shares_backend = make_protocol_backend("shares")
+    shares_ctx = make_context(
+        config=_session("shares"), protocol_backend=shares_backend
+    )
+    nonzero_total = sum(
+        1 for weights in secure.weight_rows for w in weights if w != 0
+    )
+    need = shares_backend.query_requirements(
+        nonzero_total=nonzero_total,
+        n_classes=len(secure.classes),
+        bits=secure.score_bits,
+    )
+    start = time.perf_counter()
+    shares_backend.prepare_offline(
+        shares_ctx,
+        secure.score_bits,
+        triples=need["triples"] * QUERIES,
+        comparisons=need["comparisons"] * QUERIES,
+    )
+    offline_s = time.perf_counter() - start
+    offline_bytes = shares_backend.offline_trace().total_bytes
+    store = shares_backend.store_for(shares_ctx, secure.score_bits)
+    dealt_before_online = store.total_dealt
+
+    # -- Shares online phase: ring arithmetic against the stockpile --
+    start = time.perf_counter()
+    shares_labels = [secure.classify(shares_ctx, row) for row in rows]
+    shares_online_s = (time.perf_counter() - start) / QUERIES
+    shares_bytes = shares_ctx.trace.total_bytes / QUERIES
+
+    assert shares_labels == paillier_labels
+    # Provisioning really was exact: the online phase dealt nothing.
+    assert store.total_dealt == dealt_before_online
+
+    speedup = paillier_online_s / shares_online_s
+    table = Table(
+        "E25: linear online phase, paillier vs shares "
+        f"({QUERIES} pure-SMC queries)",
+        ["backend", "online s/query", "online bytes/query", "offline s"],
+    )
+    table.add_row(["paillier", paillier_online_s, paillier_bytes, 0.0])
+    table.add_row(["shares", shares_online_s, shares_bytes, offline_s])
+    print()
+    print(table.render())
+
+    metrics = {
+        "paillier_online_s_per_query": paillier_online_s,
+        "shares_online_s_per_query": shares_online_s,
+        "online_speedup": speedup,
+        "shares_offline_s": offline_s,
+        "shares_offline_s_per_query": offline_s / QUERIES,
+        "shares_offline_bytes": float(offline_bytes),
+        "paillier_online_bytes_per_query": paillier_bytes,
+        "shares_online_bytes_per_query": shares_bytes,
+        "triples_per_query": float(need["triples"]),
+        "comparison_masks_per_query": float(need["comparisons"]),
+    }
+    record = update_bench_json(
+        _BENCH_JSON,
+        "e25_shares",
+        metrics,
+        meta={
+            "paillier_bits": BENCH_PAILLIER_BITS,
+            "dgk_bits": BENCH_DGK_BITS,
+            "queries": QUERIES,
+            "classifier": "linear",
+            "score_bits": secure.score_bits,
+        },
+    )
+    assert record["metrics"]
+    print(f"E25 gate: shares online x{speedup:.1f} vs paillier "
+          f"(offline {offline_s / QUERIES * 1e3:.2f} ms/query) -- "
+          f"{'PASS' if speedup >= 10.0 else 'FAIL'}")
+
+    # The whole point of the offline/online split: the online phase
+    # must beat the homomorphic stack by an order of magnitude.
+    assert speedup >= 10.0

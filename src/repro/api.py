@@ -8,8 +8,9 @@ One import gives everything a user of the library needs::
     )
 
 The facade re-exports the pipeline, the session configuration, the
-trade-off analyzer, live-session construction and the telemetry entry
-points eagerly; the deployment *serving* surface (``serve_deployment``,
+trade-off analyzer, live-session construction, the protocol backend
+interface (:class:`ProtocolBackend` and its ``paillier`` / ``shares``
+implementations) and the telemetry entry points eagerly; the deployment *serving* surface (``serve_deployment``,
 ``ClassificationServer``, ``request_classification``, ``ServerError``,
 ...) is re-exported lazily via PEP 562 so
 that ``import repro.api`` never drags in the TCP transport stack --
@@ -32,6 +33,11 @@ from repro.core.pipeline import PipelineConfig, PrivacyAwareClassifier
 from repro.core.session import SessionConfig
 from repro.core.tradeoff import TradeoffAnalyzer, TradeoffPoint
 from repro.privacy.risk import RiskMetric
+from repro.secure.backends import (
+    PaillierBackend,
+    ProtocolBackend,
+    SharesBackend,
+)
 from repro.selection.problem import DisclosureProblem, DisclosureSolution
 from repro.smc.context import TwoPartyContext, make_context
 from repro.telemetry import span
@@ -41,12 +47,15 @@ __all__ = [
     "ClassificationServer",
     "DisclosureProblem",
     "DisclosureSolution",
+    "PaillierBackend",
     "PipelineConfig",
     "PrivacyAwareClassifier",
+    "ProtocolBackend",
     "ReproError",
     "RiskMetric",
     "ServerError",
     "SessionConfig",
+    "SharesBackend",
     "TradeoffAnalyzer",
     "TradeoffPoint",
     "TwoPartyContext",

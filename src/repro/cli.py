@@ -9,7 +9,8 @@ Commands
 ``classify``
     Run live hybrid (disclose-then-SMC) classifications, either through
     the in-process transport or over a real localhost TCP socket
-    (``--transport tcp``).
+    (``--transport tcp``); ``--backend shares`` swaps the online phase
+    onto the secret-sharing protocol engine.
 ``serve``
     Serve a saved deployment bundle over a TCP socket, concurrently
     (``--workers``/``--queue-depth``/``--request-timeout``; see
@@ -49,6 +50,7 @@ from repro.cliutil import add_format_argument, add_metrics_argument, emit
 from repro.core.session import (
     CRYPTO_BACKENDS,
     ENGINE_BACKENDS,
+    PROTOCOL_BACKENDS,
     RNG_MODES,
     TRANSPORT_BACKENDS,
 )
@@ -150,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bignum kernel for modular exponentiation "
                             "(default auto: use gmpy2 when installed, "
                             "else pure Python; see docs/PERFORMANCE.md)")
+    serve.add_argument("--backend", choices=PROTOCOL_BACKENDS, default=None,
+                       help="online-phase protocol backend for served "
+                            "queries: 'paillier' or 'shares' (shares "
+                            "requires a linear bundle; one triple store "
+                            "is shared per server process; default "
+                            "paillier)")
     add_format_argument(serve)
     add_metrics_argument(serve)
 
@@ -204,6 +212,12 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--rng-mode", choices=RNG_MODES, default=None,
                      help="randomness mode for the live session "
                           "(default deterministic)")
+    sub.add_argument("--backend", choices=PROTOCOL_BACKENDS, default=None,
+                     help="online-phase protocol backend: 'paillier' runs "
+                          "the paper's homomorphic stack, 'shares' runs "
+                          "additive secret sharing over precomputed Beaver "
+                          "triples (requires --classifier linear; default "
+                          "paillier)")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -417,6 +431,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine_backend=args.engine,
         engine_workers=args.engine_workers,
         crypto_backend=args.crypto_backend or "auto",
+        protocol_backend=args.backend or "paillier",
         shards=args.shards,
         telemetry=bool(metered),
     )

@@ -32,11 +32,12 @@ from repro.crypto.modexp import MODEXP_BACKENDS as CRYPTO_BACKENDS
 from repro.classifiers.linear import LogisticRegressionClassifier
 from repro.classifiers.naive_bayes import NaiveBayesClassifier
 from repro.core.exceptions import ReproError
-from repro.core.session import SessionConfig
+from repro.core.session import PROTOCOL_BACKENDS, SessionConfig
 from repro.data.schema import Dataset
 from repro.privacy.adversary import NaiveBayesAdversary
 from repro.privacy.incremental import IncrementalRiskEvaluator
 from repro.privacy.risk import RiskMetric
+from repro.secure.backends import make_protocol_backend
 from repro.secure.costing import ProtocolSizes
 from repro.secure.encoding import FixedPointEncoder
 from repro.secure.secure_linear import SecureLinearClassifier
@@ -102,6 +103,13 @@ class PipelineConfig:
         ``"auto"`` (probe for gmpy2, fall back to pure Python),
         ``"python"`` or ``"gmpy2"``. Bit-for-bit identical across
         backends; wall-clock only.
+    protocol_backend:
+        Online-phase protocol engine for live queries *and* the
+        analytic cost model: ``"paillier"`` (default) or ``"shares"``
+        (linear models only; secret-sharing online phase over
+        precomputed Beaver triples). One backend instance is shared by
+        every context the pipeline creates, so the shares backend's
+        offline triple store amortises across queries.
     seed:
         Master seed for sampling and key generation.
     session:
@@ -135,6 +143,7 @@ class PipelineConfig:
     engine_backend: str = "serial"
     engine_workers: Optional[int] = None
     crypto_backend: str = "auto"
+    protocol_backend: str = "paillier"
     tree_max_depth: int = 6
     linear_iterations: int = 300
     seed: int = 0
@@ -161,6 +170,28 @@ class PipelineConfig:
                 f"unknown crypto backend {self.crypto_backend!r}; "
                 f"expected one of {CRYPTO_BACKENDS}"
             )
+        if self.protocol_backend not in PROTOCOL_BACKENDS:
+            raise ReproError(
+                f"unknown protocol backend {self.protocol_backend!r}; "
+                f"expected one of {PROTOCOL_BACKENDS}"
+            )
+        if (
+            self.effective_protocol_backend() != "paillier"
+            and self.classifier != "linear"
+        ):
+            raise ReproError(
+                f"protocol_backend "
+                f"{self.effective_protocol_backend()!r} supports "
+                f"classifier='linear' only; {self.classifier!r} runs on "
+                f"the Paillier protocol stack"
+            )
+
+    def effective_protocol_backend(self) -> str:
+        """The protocol backend live sessions will actually use (the
+        explicit ``session`` config wins over the pipeline field)."""
+        if self.session is not None:
+            return self.session.protocol_backend
+        return self.protocol_backend
 
     def session_config(self) -> SessionConfig:
         """The session configuration for live crypto contexts.
@@ -178,6 +209,7 @@ class PipelineConfig:
             engine_backend=self.engine_backend,
             engine_workers=self.engine_workers,
             crypto_backend=self.crypto_backend,
+            protocol_backend=self.protocol_backend,
         )
 
 
@@ -213,6 +245,7 @@ class PrivacyAwareClassifier:
         self._risk_function = None
         self._solution: Optional[DisclosureSolution] = None
         self._context: Optional[TwoPartyContext] = None
+        self._protocol_backend = None
 
     # -- training --------------------------------------------------------
 
@@ -332,13 +365,18 @@ class PrivacyAwareClassifier:
 
     def estimated_cost_seconds(self, disclosure_set: Iterable[int] = ()) -> float:
         """Modeled per-query seconds under the configured cost model."""
-        secure = self._require_secure()
-        trace = secure.estimated_trace(disclosure_set)
+        trace = self.estimated_trace(disclosure_set)
         return self.config.cost_model.total_seconds(trace)
 
     def estimated_trace(self, disclosure_set: Iterable[int] = ()) -> ExecutionTrace:
-        """Analytic per-query trace for a disclosure set."""
-        return self._require_secure().estimated_trace(disclosure_set)
+        """Analytic per-query trace for a disclosure set, under the
+        configured protocol backend."""
+        secure = self._require_secure()
+        if isinstance(secure, SecureLinearClassifier):
+            return secure.estimated_trace(
+                disclosure_set, backend=self.protocol_backend()
+            )
+        return secure.estimated_trace(disclosure_set)
 
     def pure_smc_cost(self) -> float:
         """Modeled cost with nothing disclosed (the paper's baseline)."""
@@ -358,12 +396,27 @@ class PrivacyAwareClassifier:
 
     # -- classification -------------------------------------------------------
 
+    def protocol_backend(self):
+        """The pipeline's shared protocol backend instance.
+
+        Created once and attached to every context the pipeline builds,
+        so under the shares backend all queries drain one offline
+        :class:`~repro.crypto.triples.TripleStore`.
+        """
+        if self._protocol_backend is None:
+            self._protocol_backend = make_protocol_backend(
+                self.config.effective_protocol_backend()
+            )
+        return self._protocol_backend
+
     def make_context(self, seed: Optional[int] = None) -> TwoPartyContext:
         """Create a live two-party crypto session (keys generated)."""
         session = self.config.session_config()
         if seed is not None:
             session = session.with_overrides(seed=seed)
-        return make_context(config=session)
+        return make_context(
+            config=session, protocol_backend=self.protocol_backend()
+        )
 
     def classify(
         self,

@@ -33,6 +33,10 @@ CRYPTO_BACKENDS = ("auto", "python", "gmpy2")
 #: :data:`repro.smc.transport.TRANSPORT_BACKENDS` (same sync test).
 TRANSPORT_BACKENDS = ("inproc", "tcp")
 
+#: Protocol backends, mirrored from
+#: :data:`repro.secure.backends.PROTOCOL_BACKENDS` (same sync test).
+PROTOCOL_BACKENDS = ("paillier", "shares")
+
 RNG_MODES = ("deterministic", "system")
 
 DEFAULT_STATISTICAL_SECURITY_BITS = 40
@@ -66,6 +70,12 @@ class SessionConfig:
         Wire backend for live protocol runs: ``"inproc"`` round-trips
         every message through the canonical codec in-process, ``"tcp"``
         ships each message over a localhost socket to a peer process.
+    protocol_backend:
+        Online-phase protocol engine: ``"paillier"`` (default; the
+        paper's homomorphic protocol stack, all work online) or
+        ``"shares"`` (additive secret sharing over precomputed Beaver
+        triples; ring arithmetic online, triple dealing offline). The
+        CLI surfaces this as ``--backend``.
     connect_timeout / io_timeout / transport_retries / backoff_seconds:
         Socket transport policy (see
         :class:`repro.smc.transport.TransportConfig`).
@@ -110,6 +120,7 @@ class SessionConfig:
     engine_workers: Optional[int] = None
     crypto_backend: str = "auto"
     transport_backend: str = "inproc"
+    protocol_backend: str = "paillier"
     connect_timeout: float = 5.0
     io_timeout: float = 30.0
     transport_retries: int = 3
@@ -136,6 +147,11 @@ class SessionConfig:
             raise ReproError(
                 f"unknown transport backend {self.transport_backend!r}; "
                 f"expected one of {TRANSPORT_BACKENDS}"
+            )
+        if self.protocol_backend not in PROTOCOL_BACKENDS:
+            raise ReproError(
+                f"unknown protocol backend {self.protocol_backend!r}; "
+                f"expected one of {PROTOCOL_BACKENDS}"
             )
         if self.rng_mode not in RNG_MODES:
             raise ReproError(
@@ -177,7 +193,8 @@ class SessionConfig:
         """Build a config from a parsed CLI namespace.
 
         Reads whichever of ``--seed``, ``--engine``, ``--workers``,
-        ``--crypto-backend``, ``--transport``, ``--rng-mode``,
+        ``--crypto-backend``, ``--transport``, ``--backend``,
+        ``--rng-mode``,
         ``--metrics``, ``--queue-depth``, ``--request-timeout`` and
         ``--shards`` the subcommand defined; anything absent keeps its
         default.
@@ -190,6 +207,7 @@ class SessionConfig:
             ("engine_workers", "workers"),
             ("crypto_backend", "crypto_backend"),
             ("transport_backend", "transport"),
+            ("protocol_backend", "backend"),
             ("rng_mode", "rng_mode"),
             ("queue_depth", "queue_depth"),
             ("request_timeout_s", "request_timeout"),

@@ -5,6 +5,21 @@ Share-based secure multiplication consumes one precomputed triple
 is replaced by an offline OT/HE phase; the paper's performance model
 charges that phase separately, so a trusted dealer preserves the online
 cost structure exactly while keeping the simulator simple.
+
+Beyond triples the dealer also pre-distributes *comparison masks*
+(:class:`ComparisonMask`): the correlated randomness consumed by the
+share-based sign test in :mod:`repro.smc.comparison`. One mask hides a
+shared ``(l+1)``-bit value behind a statistically blinded public
+opening; the dealer ships each party shares of the mask ``r``, of its
+high quotient ``r >> l`` and of the ``l`` low bits individually, so the
+online phase can reconstruct the hidden top bit with pure ring
+arithmetic.
+
+Randomness discipline: the dealer draws from :mod:`repro.crypto.rand`
+(``default_rng()`` when nothing is injected), so a session running in
+SystemRandom mode passes a mode-preserving fork and every dealt share
+inherits the session's randomness source -- the ``rng-hygiene`` lint
+rule holds without pragmas.
 """
 
 from __future__ import annotations
@@ -29,21 +44,58 @@ class BeaverTriple:
     c: AdditiveShare
 
 
+@dataclass(frozen=True)
+class ComparisonMask:
+    """One party's correlated randomness for one share comparison.
+
+    For a comparison at magnitude ``l`` (``bit_length``) the dealer
+    draws ``r`` uniformly from ``[0, 2^(l+1+kappa))`` and deals, to each
+    party, additive shares of
+
+    * ``r`` itself (:attr:`r`),
+    * the quotient ``r >> l`` (:attr:`r_high`), and
+    * each of the ``l`` low bits of ``r`` (:attr:`r_low_bits`, LSB
+      first).
+
+    The online phase opens ``m = t + r`` (statistically hiding ``t``)
+    and recombines ``t``'s top bit as
+    ``(m >> l) - r_high - borrow(m mod 2^l, r mod 2^l)`` where the
+    borrow is a bit-circuit over the shared low bits against the public
+    low bits of ``m``.
+    """
+
+    bit_length: int
+    r: AdditiveShare
+    r_high: AdditiveShare
+    r_low_bits: Tuple[AdditiveShare, ...]
+
+
 class TrustedDealer:
     """Generates correlated randomness for the two computation parties.
 
-    The dealer never sees live data; it only pre-distributes triples, so
-    it maps to the standard "semi-honest helper" / offline-phase
-    assumption in the literature.
+    The dealer never sees live data; it only pre-distributes triples and
+    comparison masks, so it maps to the standard "semi-honest helper" /
+    offline-phase assumption in the literature.
     """
 
     def __init__(
         self,
         sharer: Optional[AdditiveSecretSharer] = None,
         rng: Optional[DeterministicRandom] = None,
+        *,
+        modulus: Optional[int] = None,
     ) -> None:
         self._rng = rng or default_rng()
-        self._sharer = sharer or AdditiveSecretSharer(rng=self._rng)
+        if sharer is None:
+            if modulus is not None:
+                sharer = AdditiveSecretSharer(modulus=modulus, rng=self._rng)
+            else:
+                sharer = AdditiveSecretSharer(rng=self._rng)
+        elif modulus is not None and sharer.modulus != modulus:
+            raise BeaverError(
+                f"sharer modulus {sharer.modulus} != requested {modulus}"
+            )
+        self._sharer = sharer
 
     @property
     def modulus(self) -> int:
@@ -71,6 +123,63 @@ class TrustedDealer:
         seconds: List[BeaverTriple] = []
         for _ in range(count):
             first, second = self.triple()
+            firsts.append(first)
+            seconds.append(second)
+        return firsts, seconds
+
+    def comparison_mask(
+        self, bit_length: int, kappa: int
+    ) -> Tuple[ComparisonMask, ComparisonMask]:
+        """Deal one comparison mask for magnitude ``bit_length``.
+
+        ``kappa`` is the statistical-security parameter: the opened
+        value ``m = t + r`` is within statistical distance ``2^-kappa``
+        of uniform. The ring must leave headroom for ``m`` itself, so
+        the modulus has to exceed ``2^(bit_length + kappa + 2)``.
+        """
+        if bit_length < 1:
+            raise BeaverError(
+                f"comparison bit length must be positive, got {bit_length}"
+            )
+        if kappa < 1:
+            raise BeaverError(f"kappa must be positive, got {kappa}")
+        modulus = self._sharer.modulus
+        if modulus <= 1 << (bit_length + kappa + 2):
+            raise BeaverError(
+                f"modulus {modulus.bit_length()} bits is too small for a "
+                f"{bit_length}-bit comparison at kappa={kappa}; need more "
+                f"than {bit_length + kappa + 2} bits"
+            )
+        r = self._rng.randbelow(1 << (bit_length + 1 + kappa))
+        r_shares = self._sharer.share(r)
+        high_shares = self._sharer.share(r >> bit_length)
+        bit_shares = [
+            self._sharer.share((r >> i) & 1) for i in range(bit_length)
+        ]
+        first = ComparisonMask(
+            bit_length=bit_length,
+            r=r_shares[0],
+            r_high=high_shares[0],
+            r_low_bits=tuple(bits[0] for bits in bit_shares),
+        )
+        second = ComparisonMask(
+            bit_length=bit_length,
+            r=r_shares[1],
+            r_high=high_shares[1],
+            r_low_bits=tuple(bits[1] for bits in bit_shares),
+        )
+        return first, second
+
+    def comparison_masks(
+        self, count: int, bit_length: int, kappa: int
+    ) -> Tuple[List[ComparisonMask], List[ComparisonMask]]:
+        """Deal ``count`` comparison masks as two per-party lists."""
+        if count < 0:
+            raise BeaverError(f"mask count must be non-negative, got {count}")
+        firsts: List[ComparisonMask] = []
+        seconds: List[ComparisonMask] = []
+        for _ in range(count):
+            first, second = self.comparison_mask(bit_length, kappa)
             firsts.append(first)
             seconds.append(second)
         return firsts, seconds

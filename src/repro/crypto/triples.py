@@ -1,0 +1,336 @@
+"""Offline precomputation for share-based protocols: the triple store.
+
+The share backend's online phase costs integer adds/muls only because
+every Beaver multiplication consumes *precomputed* correlated
+randomness: one :class:`~repro.crypto.beaver.BeaverTriple` pair per
+product and one :class:`~repro.crypto.beaver.ComparisonMask` pair per
+comparison. :class:`TripleStore` is the stockpile -- the share-protocol
+counterpart of :class:`repro.crypto.precompute.PrecomputedEncryptionPool`
+-- filled during the offline phase (or by a background thread) and
+drained by live queries.
+
+Accounting honesty mirrors the encryption pool: a strict ``take`` on an
+empty store raises :class:`TripleStoreExhaustedError` rather than
+silently dealing inline, so benchmarks separate setup cost from
+per-query cost; callers that must not fail online (the serving path)
+opt into ``fallback=True`` and the inline dealing is surfaced as a
+``triples.misses`` / ``masks.misses`` telemetry counter.
+
+An optional ``distribute`` hook receives every freshly dealt party-1
+bundle and returns what "arrived" -- the shares backend uses it to push
+each refill through the wire codec (and charge an offline trace), so
+triple distribution exercises the same tagged wire elements as the
+online openings.
+
+All store state is guarded by one lock; a daemon refiller thread
+(:meth:`TripleStore.start_background_refill`) tops the store up below a
+low-water mark while the online phase keeps draining it, taking the
+lock once to snapshot deficits, dealing unlocked, and once more to
+append -- so online takes never contend with the dealing itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+import repro.telemetry as telemetry
+from repro.crypto.beaver import BeaverTriple, ComparisonMask, TrustedDealer
+
+
+class TripleStoreExhaustedError(Exception):
+    """Raised when a strict online take finds no precomputed material."""
+
+
+class TripleStore:
+    """A stock of ready Beaver triples and comparison masks.
+
+    Parameters
+    ----------
+    dealer:
+        The :class:`~repro.crypto.beaver.TrustedDealer` producing the
+        correlated randomness; its modulus is the store's modulus.
+    kappa:
+        Statistical-security parameter passed through to comparison-mask
+        dealing.
+    distribute:
+        Optional hook ``(kind, bundles) -> bundles`` applied to every
+        freshly dealt party-1 list (``kind`` is ``"triples"`` or
+        ``"masks"``); the returned bundles are what the store keeps.
+
+    Thread safety: ``remaining_triples``, ``remaining_masks``,
+    ``refill``, ``take_triples`` and ``take_masks`` may be called
+    concurrently; all state is serialised under an internal lock.
+    """
+
+    def __init__(
+        self,
+        dealer: TrustedDealer,
+        *,
+        kappa: int = 40,
+        distribute: Optional[Callable[[str, list], list]] = None,
+    ) -> None:
+        self._dealer = dealer
+        self._kappa = kappa
+        self._distribute = distribute
+        self._triples: List[Tuple[BeaverTriple, BeaverTriple]] = []
+        self._masks: Dict[int, List[Tuple[ComparisonMask, ComparisonMask]]] = {}
+        self._lock = threading.Lock()
+        self._refill_needed = threading.Condition(self._lock)
+        self._refiller: Optional[threading.Thread] = None
+        self._refiller_stop = False
+        self._low_water = 0
+        self._refill_batch = 0
+        self._mask_low_water: Dict[int, int] = {}
+        self._total_triples_dealt = 0
+        self._total_masks_dealt = 0
+
+    @property
+    def modulus(self) -> int:
+        """The ring every stored share lives in."""
+        return self._dealer.modulus
+
+    @property
+    def dealer(self) -> TrustedDealer:
+        """The dealer this store refills from."""
+        return self._dealer
+
+    @property
+    def kappa(self) -> int:
+        """Statistical-security parameter of the dealt masks."""
+        return self._kappa
+
+    @property
+    def remaining_triples(self) -> int:
+        """Beaver multiplications the store can still serve."""
+        with self._lock:
+            return len(self._triples)
+
+    def remaining_masks(self, bit_length: int) -> int:
+        """Comparisons at ``bit_length`` the store can still serve."""
+        with self._lock:
+            return len(self._masks.get(bit_length, []))
+
+    @property
+    def total_dealt(self) -> Tuple[int, int]:
+        """(triples, masks) ever dealt -- offline-work accounting."""
+        with self._lock:
+            return self._total_triples_dealt, self._total_masks_dealt
+
+    # -- offline phase -------------------------------------------------------
+
+    def refill(self, triples: int = 0, masks: int = 0,
+               mask_bits: Optional[int] = None) -> None:
+        """Offline phase: deal more correlated randomness.
+
+        Dealing happens outside the lock (it is the expensive part);
+        one locked append publishes the batch. ``mask_bits`` is the
+        comparison magnitude the masks are dealt for and is required
+        whenever ``masks > 0``.
+        """
+        if triples < 0 or masks < 0:
+            raise ValueError(
+                f"refill counts must be non-negative, got "
+                f"triples={triples} masks={masks}"
+            )
+        if masks and mask_bits is None:
+            raise ValueError("mask refill needs an explicit mask_bits")
+        if not triples and not masks:
+            return
+        dealt_triples: List[Tuple[BeaverTriple, BeaverTriple]] = []
+        dealt_masks: List[Tuple[ComparisonMask, ComparisonMask]] = []
+        if triples:
+            telemetry.count("triples.refilled", triples)
+            firsts, seconds = self._dealer.triples(triples)
+            seconds = self._ship("triples", seconds)
+            dealt_triples = list(zip(firsts, seconds))
+        if masks:
+            telemetry.count("masks.refilled", masks)
+            firsts, seconds = self._dealer.comparison_masks(
+                masks, mask_bits, self._kappa
+            )
+            seconds = self._ship("masks", seconds)
+            dealt_masks = list(zip(firsts, seconds))
+        with self._lock:
+            self._triples.extend(dealt_triples)
+            self._total_triples_dealt += len(dealt_triples)
+            if dealt_masks:
+                self._masks.setdefault(mask_bits, []).extend(dealt_masks)
+                self._total_masks_dealt += len(dealt_masks)
+
+    def _ship(self, kind: str, bundles: list) -> list:
+        """Run freshly dealt party-1 bundles through the distribute hook."""
+        if self._distribute is None:
+            return bundles
+        return self._distribute(kind, bundles)
+
+    # -- online phase --------------------------------------------------------
+
+    def take_triples(
+        self, count: int, *, fallback: bool = False
+    ) -> Tuple[List[BeaverTriple], List[BeaverTriple]]:
+        """Pop ``count`` triple pairs, as two per-party lists.
+
+        With ``fallback=False`` (the strict default) an insufficient
+        stock raises :class:`TripleStoreExhaustedError`; with
+        ``fallback=True`` the deficit is dealt inline and counted as
+        ``triples.misses`` so the skipped offline work stays visible.
+        """
+        if count < 0:
+            raise ValueError(f"cannot take {count} triples")
+        if count == 0:
+            return [], []
+        with self._lock:
+            available = len(self._triples)
+            take = min(count, available)
+            taken = self._triples[-take:] if take else []
+            if take:
+                del self._triples[-take:]
+            deficit = count - take
+            if deficit and not fallback:
+                self._triples.extend(taken)
+                raise TripleStoreExhaustedError(
+                    f"triple store exhausted: asked for {count} triples but "
+                    f"only {available} of {self._total_triples_dealt} dealt "
+                    f"remain; call refill() for more offline work or pass "
+                    f"fallback=True to deal inline (counted as misses)"
+                )
+            if (
+                self._low_water > 0
+                and len(self._triples) < self._low_water
+            ):
+                self._refill_needed.notify()
+        if take:
+            telemetry.count("triples.hits", take)
+        if deficit:
+            telemetry.count("triples.misses", deficit)
+            firsts, seconds = self._dealer.triples(deficit)
+            seconds = self._ship("triples", seconds)
+            taken = taken + list(zip(firsts, seconds))
+            with self._lock:
+                self._total_triples_dealt += deficit
+        return [pair[0] for pair in taken], [pair[1] for pair in taken]
+
+    def take_masks(
+        self, count: int, bit_length: int, *, fallback: bool = False
+    ) -> Tuple[List[ComparisonMask], List[ComparisonMask]]:
+        """Pop ``count`` comparison-mask pairs for ``bit_length``.
+
+        Strict/fallback semantics match :meth:`take_triples`, with
+        misses surfacing as ``masks.misses``.
+        """
+        if count < 0:
+            raise ValueError(f"cannot take {count} masks")
+        if count == 0:
+            return [], []
+        with self._lock:
+            stock = self._masks.get(bit_length, [])
+            available = len(stock)
+            take = min(count, available)
+            taken = stock[-take:] if take else []
+            if take:
+                del stock[-take:]
+            deficit = count - take
+            if deficit and not fallback:
+                stock.extend(taken)
+                raise TripleStoreExhaustedError(
+                    f"triple store exhausted: asked for {count} comparison "
+                    f"masks at {bit_length} bits but only {available} "
+                    f"remain; call refill(masks=..., mask_bits={bit_length}) "
+                    f"for more offline work or pass fallback=True"
+                )
+            if (
+                self._mask_low_water.get(bit_length, 0) > 0
+                and len(stock) < self._mask_low_water[bit_length]
+            ):
+                self._refill_needed.notify()
+        if take:
+            telemetry.count("masks.hits", take)
+        if deficit:
+            telemetry.count("masks.misses", deficit)
+            firsts, seconds = self._dealer.comparison_masks(
+                deficit, bit_length, self._kappa
+            )
+            seconds = self._ship("masks", seconds)
+            taken = taken + list(zip(firsts, seconds))
+            with self._lock:
+                self._total_masks_dealt += deficit
+        return [pair[0] for pair in taken], [pair[1] for pair in taken]
+
+    # -- background refill ---------------------------------------------------
+
+    def start_background_refill(
+        self,
+        low_water: int,
+        batch: int = 0,
+        *,
+        mask_bits: Optional[int] = None,
+        mask_low_water: int = 0,
+    ) -> None:
+        """Keep the store topped up from a daemon thread.
+
+        Whenever a take drains the triple stock below ``low_water`` (or
+        the ``mask_bits`` mask stock below ``mask_low_water``), the
+        refiller deals back up to ``batch`` (default ``2 * low_water``).
+        Idempotent; :meth:`stop_background_refill` shuts the thread
+        down (it also dies with the process -- it is a daemon).
+        """
+        if low_water <= 0:
+            raise ValueError(f"low_water must be positive, got {low_water}")
+        with self._lock:
+            self._low_water = low_water
+            self._refill_batch = batch if batch > 0 else 2 * low_water
+            if mask_bits is not None and mask_low_water > 0:
+                self._mask_low_water[mask_bits] = mask_low_water
+            if self._refiller is not None and self._refiller.is_alive():
+                return
+            self._refiller_stop = False
+            self._refiller = threading.Thread(
+                target=self._refill_loop,
+                name="triple-store-refiller",
+                daemon=True,
+            )
+            self._refiller.start()
+
+    def stop_background_refill(self, timeout: float = 5.0) -> None:
+        """Stop the refiller thread and wait for it to exit."""
+        with self._lock:
+            if self._refiller is None:
+                return
+            self._refiller_stop = True
+            self._refill_needed.notify_all()
+            thread = self._refiller
+        thread.join(timeout=timeout)
+        with self._lock:
+            self._refiller = None
+
+    def _below_low_water(self) -> bool:
+        """Whether any watched stock is low (caller holds the lock)."""
+        if len(self._triples) < self._low_water:
+            return True
+        return any(
+            len(self._masks.get(bits, [])) < low
+            for bits, low in self._mask_low_water.items()
+        )
+
+    def _refill_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._refiller_stop and not self._below_low_water():
+                    # Re-check periodically too: a burst may drain the
+                    # store between the notify and this thread waking.
+                    self._refill_needed.wait(timeout=0.1)
+                if self._refiller_stop:
+                    return
+                triple_deficit = max(
+                    self._refill_batch - len(self._triples), 0
+                )
+                mask_deficits = {
+                    bits: max(2 * low - len(self._masks.get(bits, [])), 0)
+                    for bits, low in self._mask_low_water.items()
+                }
+            if triple_deficit:
+                self.refill(triples=max(triple_deficit, 1))
+            for bits, deficit in mask_deficits.items():
+                if deficit:
+                    self.refill(masks=deficit, mask_bits=bits)

@@ -250,6 +250,136 @@ def add_dot_product(
     trace.count(Op.PAILLIER_ADD, nonzero_weights)     # terms - 1, + offset
 
 
+# -- share-protocol builders (the shares backend's cost model) ---------------
+#
+# The share protocol's wire elements are *fixed-width*: a share's body is
+# ``u32(width) + modulus + value`` with both integers padded to the byte
+# width of the ring modulus, so element sizes depend only on the ring --
+# never on the shared magnitudes -- and the formulas below are exact,
+# not expectations. Triple consumption is data-independent too
+# (``max(l-2, 0) + l`` per comparison), so the analytic share traces
+# equal the live channel accounting byte-for-byte.
+
+
+def share_wire_bytes(modulus_bits: int) -> int:
+    """Wire element size of one additive share in the ``2^modulus_bits``
+    ring (tag + u32 length + u32 width + modulus + value)."""
+    width = modulus_bits // 8 + 1  # modulus = 2^bits is a bits+1-bit int
+    return ELEMENT_OVERHEAD + 4 + 2 * width
+
+
+def add_share_vector(
+    trace: ExecutionTrace,
+    count: int,
+    modulus_bits: int,
+    *,
+    client_to_server: bool,
+) -> None:
+    """One input-sharing message: a list of ``count`` shares crossing in
+    one direction (:meth:`~repro.smc.shares.ShareSession.input_client` /
+    ``input_server``)."""
+    if count == 0:
+        return
+    size = (
+        FRAME_OVERHEAD + LIST_OVERHEAD + count * share_wire_bytes(modulus_bits)
+    )
+    if client_to_server:
+        trace.bytes_client_to_server += size
+    else:
+        trace.bytes_server_to_client += size
+    trace.messages += 1
+    trace.rounds += 1
+
+
+def add_share_open_batch(
+    trace: ExecutionTrace, count: int, modulus_bits: int
+) -> None:
+    """Costs of :meth:`~repro.smc.shares.ShareSession.open_batch`: both
+    parties announce their ``count``-share vectors (two messages)."""
+    if count == 0:
+        return
+    per_direction = (
+        FRAME_OVERHEAD + LIST_OVERHEAD + count * share_wire_bytes(modulus_bits)
+    )
+    trace.bytes_client_to_server += per_direction
+    trace.bytes_server_to_client += per_direction
+    trace.messages += 2
+    trace.rounds += 2
+
+
+def add_share_multiply_batch(
+    trace: ExecutionTrace, count: int, modulus_bits: int
+) -> None:
+    """Costs of :meth:`~repro.smc.shares.ShareSession.multiply_batch`:
+    ``count`` Beaver triples and one opening of ``2 * count`` masked
+    differences."""
+    if count == 0:
+        return
+    trace.count(Op.SHARE_MUL_TRIPLE, count)
+    add_share_open_batch(trace, 2 * count, modulus_bits)
+
+
+def add_share_reveal(trace: ExecutionTrace, modulus_bits: int) -> None:
+    """Costs of revealing one shared value to the client: the server
+    announces a single share element."""
+    trace.bytes_server_to_client += FRAME_OVERHEAD + share_wire_bytes(
+        modulus_bits
+    )
+    trace.messages += 1
+    trace.rounds += 1
+
+
+def add_share_dot_products(
+    trace: ExecutionTrace, nonzero_total: int, modulus_bits: int
+) -> None:
+    """Costs of :func:`repro.smc.dotproduct.shared_dot_products` over
+    ``nonzero_total`` nonzero weight terms summed across *all* rows: one
+    server input-sharing message plus a single batched multiplication
+    (rows with no nonzero hidden weight are free)."""
+    if nonzero_total == 0:
+        return
+    add_share_vector(
+        trace, nonzero_total, modulus_bits, client_to_server=False
+    )
+    add_share_multiply_batch(trace, nonzero_total, modulus_bits)
+
+
+def add_share_compare(
+    trace: ExecutionTrace, bits: int, modulus_bits: int
+) -> None:
+    """Costs of :func:`repro.smc.comparison.share_compare_shared` /
+    ``_share_z_bit`` on a ``bits``-bit magnitude: one masked opening,
+    ``max(bits - 2, 0)`` sequential suffix-product multiplications and
+    one final batch of ``bits`` term multiplications."""
+    add_share_open_batch(trace, 1, modulus_bits)
+    for _ in range(max(bits - 2, 0)):
+        add_share_multiply_batch(trace, 1, modulus_bits)
+    add_share_multiply_batch(trace, bits, modulus_bits)
+
+
+def add_share_sign_test(
+    trace: ExecutionTrace, bits: int, modulus_bits: int
+) -> None:
+    """Costs of
+    :func:`repro.smc.comparison.share_sign_test_client_learns`."""
+    add_share_compare(trace, bits, modulus_bits)
+    add_share_reveal(trace, modulus_bits)
+
+
+def add_share_argmax(
+    trace: ExecutionTrace, candidates: int, bits: int, modulus_bits: int
+) -> None:
+    """Costs of :func:`repro.smc.argmax.share_secure_argmax`: one share
+    comparison plus a two-element multiplexing batch per tournament
+    round, then a single index reveal."""
+    if candidates <= 1:
+        return
+    for _ in range(candidates - 1):
+        add_share_compare(trace, bits, modulus_bits)
+        add_share_multiply_batch(trace, 2, modulus_bits)
+    add_share_reveal(trace, modulus_bits)
+
+
 def add_indicator_lookup(
     trace: ExecutionTrace, domain_size: int, sizes: ProtocolSizes
 ) -> None:

@@ -25,25 +25,20 @@ import numpy as np
 
 from repro.classifiers.linear import LogisticRegressionClassifier
 from repro.data.schema import FeatureSpec
-from repro.secure.base import SecureClassificationError, SecureClassifier
+from repro.secure.base import (
+    SecureClassificationError,
+    SecureClassifier,
+    default_backend,
+    resolve_backend,
+)
 from repro.secure.costing import (
     FRAME_OVERHEAD,
     LIST_OVERHEAD,
     SMALL_INT_BYTES,
     ProtocolSizes,
-    add_dot_product,
-    add_encrypt_vector,
-    add_secure_argmax,
-    add_sign_test,
 )
 from repro.secure.encoding import FixedPointEncoder, score_bound
-from repro.smc.argmax import secure_argmax
-from repro.smc.comparison import sign_test_client_learns
 from repro.smc.context import TwoPartyContext
-from repro.smc.dotproduct import (
-    batched_encrypted_dot_products,
-    encrypt_feature_vector,
-)
 from repro.smc.protocol import ExecutionTrace, protocol_entry
 
 
@@ -146,36 +141,44 @@ class SecureLinearClassifier(SecureClassifier):
                 winner = offsets.index(best)
             return int(ctx.channel.server_sends(self.classes[winner]))
 
-        # One batch encryption for the hidden values, then one fused
-        # multi-exponentiation dot product per class (client ciphertexts
-        # are reused across classes).
-        encrypted_hidden = encrypt_feature_vector(
-            ctx, [int(row[i]) for i in hidden]
+        # Protected feature transfer, then one protected affine score
+        # per class (the client-side transfer cost is paid once and
+        # reused across classes) -- all through the session's protocol
+        # backend, so the same code path runs Paillier or shares.
+        backend = resolve_backend(ctx)
+        state = backend.begin_query(ctx, self.score_bits)
+        protected = backend.encrypt_features(
+            state, [int(row[i]) for i in hidden]
         )
-        scores = batched_encrypted_dot_products(
-            ctx,
-            encrypted_hidden,
+        scores = backend.dot_products(
+            state,
+            protected,
             [[weights[i] for i in hidden] for weights in self.weight_rows],
             offsets,
         )
 
         if len(scores) == 2:
             # Sign test on score_1 - score_0 >= 0.
-            difference = ctx.add(scores[1], -scores[0])
-            bit = sign_test_client_learns(ctx, difference, self.score_bits)
+            bit = backend.sign_test_client_learns(state, scores)
             return self.classes[bit]
 
-        # Shift scores into [0, 2^bits) for the argmax protocol.
-        shift = 1 << (self.score_bits - 1)
-        shifted = [ctx.add(score, shift) for score in scores]
-        winner = secure_argmax(ctx, shifted, self.score_bits)
+        winner = backend.argmax_client_learns(state, scores)
         return self.classes[winner]
 
     # -- analytic cost --------------------------------------------------------
 
-    def estimated_trace(self, disclosure_set: Iterable[int] = ()) -> ExecutionTrace:
+    def estimated_trace(
+        self,
+        disclosure_set: Iterable[int] = (),
+        *,
+        backend=None,
+    ) -> ExecutionTrace:
+        if backend is None:
+            backend = default_backend()
         disclosed, hidden = self.partition(disclosure_set)
-        trace = ExecutionTrace(label=f"linear|hidden={len(hidden)}")
+        trace = ExecutionTrace(
+            label=f"linear|{backend.name}|hidden={len(hidden)}"
+        )
         n_classes = len(self.classes)
         if disclosed:
             trace.bytes_client_to_server += (
@@ -190,12 +193,22 @@ class SecureLinearClassifier(SecureClassifier):
             trace.messages += 1
             trace.rounds += 1
             return trace
-        add_encrypt_vector(trace, len(hidden), self.sizes)
-        for weights in self.weight_rows:
-            nonzero = sum(1 for i in hidden if weights[i] != 0)
-            add_dot_product(trace, nonzero, self.sizes)
+        backend.trace_encrypt_vector(
+            trace, len(hidden), self.sizes, self.score_bits
+        )
+        backend.trace_dot_products(
+            trace,
+            [
+                sum(1 for i in hidden if weights[i] != 0)
+                for weights in self.weight_rows
+            ],
+            self.sizes,
+            self.score_bits,
+        )
         if n_classes == 2:
-            add_sign_test(trace, self.score_bits, self.sizes)
+            backend.trace_sign_test(trace, self.score_bits, self.sizes)
         else:
-            add_secure_argmax(trace, n_classes, self.score_bits, self.sizes)
+            backend.trace_argmax(
+                trace, n_classes, self.score_bits, self.sizes
+            )
         return trace

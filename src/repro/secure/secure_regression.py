@@ -21,19 +21,21 @@ from typing import Iterable, List
 import numpy as np
 
 from repro.classifiers.regression import RidgeRegression
-from repro.secure.base import SecureClassificationError, SecureClassifier
+from repro.secure.base import (
+    SecureClassificationError,
+    SecureClassifier,
+    default_backend,
+    resolve_backend,
+)
 from repro.secure.costing import (
     ELEMENT_OVERHEAD,
     FRAME_OVERHEAD,
     LIST_OVERHEAD,
     SMALL_INT_BYTES,
     ProtocolSizes,
-    add_dot_product,
-    add_encrypt_vector,
 )
-from repro.secure.encoding import FixedPointEncoder
+from repro.secure.encoding import FixedPointEncoder, score_bound
 from repro.smc.context import TwoPartyContext
-from repro.smc.dotproduct import encrypt_feature_vector, encrypted_dot_product
 from repro.smc.protocol import ExecutionTrace, protocol_entry
 
 
@@ -69,6 +71,10 @@ class SecureRegression(SecureClassifier):
         self.encoder = encoder
         self.int_weights: List[int] = encoder.encode_vector(model.weights)
         self.int_intercept: int = encoder.encode(model.intercept)
+        max_values = [spec.domain_size - 1 for spec in self.features]
+        self.score_bits = score_bound(
+            [self.int_weights], [self.int_intercept], max_values
+        ).bit_length() + 1
 
     # -- plaintext reference -------------------------------------------------
 
@@ -123,24 +129,33 @@ class SecureRegression(SecureClassifier):
             # Fully disclosed: plaintext answer, one message.
             return int(ctx.channel.server_sends(offset))
 
-        encrypted_hidden = encrypt_feature_vector(
-            ctx, [int(row[i]) for i in hidden]
+        backend = resolve_backend(ctx)
+        state = backend.begin_query(ctx, self.score_bits)
+        protected = backend.encrypt_features(
+            state, [int(row[i]) for i in hidden]
         )
-        score = encrypted_dot_product(
-            ctx,
-            encrypted_hidden,
-            [self.int_weights[i] for i in hidden],
-            plaintext_offset=offset,
-        )
-        ctx.channel.reset_direction()
-        delivered = ctx.channel.server_sends(ctx.rerandomize(score))
-        return ctx.client_decrypt(delivered)
+        score = backend.dot_products(
+            state,
+            protected,
+            [[self.int_weights[i] for i in hidden]],
+            [offset],
+        )[0]
+        return backend.reveal_score_to_client(state, score)
 
     # -- analytic cost ----------------------------------------------------------
 
-    def estimated_trace(self, disclosure_set: Iterable[int] = ()) -> ExecutionTrace:
+    def estimated_trace(
+        self,
+        disclosure_set: Iterable[int] = (),
+        *,
+        backend=None,
+    ) -> ExecutionTrace:
+        if backend is None:
+            backend = default_backend()
         disclosed, hidden = self.partition(disclosure_set)
-        trace = ExecutionTrace(label=f"regression|hidden={len(hidden)}")
+        trace = ExecutionTrace(
+            label=f"regression|{backend.name}|hidden={len(hidden)}"
+        )
         if disclosed:
             trace.bytes_client_to_server += (
                 FRAME_OVERHEAD + LIST_OVERHEAD
@@ -154,16 +169,12 @@ class SecureRegression(SecureClassifier):
             trace.messages += 1
             trace.rounds += 1
             return trace
-        add_encrypt_vector(trace, len(hidden), self.sizes)
-        nonzero = sum(1 for i in hidden if self.int_weights[i] != 0)
-        add_dot_product(trace, nonzero, self.sizes)
-        from repro.smc.protocol import Op
-
-        trace.count(Op.PAILLIER_RERANDOMIZE)
-        trace.count(Op.PAILLIER_DECRYPT)
-        trace.bytes_server_to_client += (
-            FRAME_OVERHEAD + self.sizes.paillier_ct_wire_bytes
+        backend.trace_encrypt_vector(
+            trace, len(hidden), self.sizes, self.score_bits
         )
-        trace.messages += 1
-        trace.rounds += 1
+        nonzero = sum(1 for i in hidden if self.int_weights[i] != 0)
+        backend.trace_dot_products(
+            trace, [nonzero], self.sizes, self.score_bits
+        )
+        backend.trace_reveal_score(trace, self.sizes, self.score_bits)
         return trace

@@ -50,6 +50,7 @@ import repro.telemetry as telemetry
 from repro.core.session import SessionConfig
 from repro.crypto.engine import make_engine
 from repro.crypto.rand import secure_rng
+from repro.secure.backends import make_protocol_backend
 from repro.serving.session import BadRequest, RequestSession
 from repro.smc import wire
 from repro.smc.transport import TcpTransport, TransportConfig, TransportError
@@ -72,7 +73,9 @@ class ClassificationServer:
         runtime reads ``max_workers``, ``queue_depth``,
         ``request_timeout_s``, ``engine_backend`` / ``engine_workers``
         (one engine is built up front and shared by all request
-        contexts) and the transport timeout fields.
+        contexts), ``protocol_backend`` (likewise built once, so a
+        ``"shares"`` server shares one offline triple store across
+        requests) and the transport timeout fields.
     max_connections:
         Stop accepting after this many accepted connections (shed ones
         included) and drain; ``None`` serves until :meth:`shutdown` or
@@ -120,6 +123,12 @@ class ClassificationServer:
         self.shutdown_token = f"{secure_rng().getrandbits(128):032x}"
         self._engine = make_engine(
             self.config.engine_backend, workers=self.config.engine_workers
+        )
+        # One protocol backend for the whole server: per-request
+        # contexts share it, so a shares backend amortizes one offline
+        # triple store across every query this process answers.
+        self._protocol_backend = make_protocol_backend(
+            self.config.protocol_backend
         )
         self._stopping = threading.Event()
         self._drained = threading.Event()
@@ -335,8 +344,10 @@ class ClassificationServer:
                 seed=session.seed,
                 paillier_bits=self.deployed.paillier_bits,
                 dgk_bits=self.deployed.dgk_bits,
+                protocol_backend=self.config.protocol_backend,
             ),
             engine=self._engine,
+            protocol_backend=self._protocol_backend,
         )
         # The transport gets a *duplicate* descriptor: on a deadline it
         # closes its socket before raising, and the handler still needs

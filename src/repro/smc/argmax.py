@@ -26,9 +26,11 @@ from typing import List, Sequence
 
 from repro.crypto.ot import one_of_n_transfer
 from repro.crypto.paillier import PaillierCiphertext
-from repro.smc.comparison import compare_encrypted_client_learns
+from repro.smc.arithmetic import SharedValue
+from repro.smc.comparison import compare_encrypted_client_learns, share_compare_shared
 from repro.smc.context import TwoPartyContext
 from repro.smc.protocol import Op, protocol_entry
+from repro.smc.shares import ShareSession
 
 
 class ArgmaxError(Exception):
@@ -138,3 +140,55 @@ def secure_argmax_plain_reference(values: Sequence[int]) -> int:
         raise ArgmaxError("empty candidate list")
     best = max(values)
     return next(i for i, v in enumerate(values) if v == best)
+
+
+@protocol_entry(span="argmax.shares")
+def share_secure_argmax(
+    session: ShareSession,
+    scores: Sequence[SharedValue],
+    bit_length: int,
+) -> int:
+    """Share-backend argmax: client learns the index of the maximum.
+
+    A sequential tournament over *shared* values: each round produces a
+    shared keep-bit via the share comparison, then one multiplexing
+    multiplication folds the winner into the shared running maximum and
+    its (shared) index -- neither party sees any comparison outcome.
+    The final index is revealed to the client only, matching
+    :func:`secure_argmax`'s output party.
+
+    ``bit_length`` bounds the scores: ``|score| < 2^(bit_length - 1)``,
+    so every pairwise difference fits the comparison's magnitude bound.
+    Ties resolve to the first maximal index (the plain-reference
+    convention): the keep-bit is ``current >= challenger``.
+    """
+    count = len(scores)
+    if count == 0:
+        raise ArgmaxError("share_secure_argmax needs at least one candidate")
+    if count == 1:
+        return 0
+
+    current = scores[0]
+    current_index = session.constant(0)
+    for position in range(1, count):
+        challenger = scores[position]
+        keep = share_compare_shared(session, current, challenger, bit_length)
+        take = (keep * -1) + 1
+        delta_value, delta_index = session.multiply_batch(
+            [take, take],
+            [challenger - current, (current_index * -1) + position],
+        )
+        current = current + delta_value
+        current_index = current_index + delta_index
+
+    session.ctx.channel.reset_direction()
+    winner = session.reveal_to_client(current_index, signed=False)
+    # The revealed index is the protocol's output for the client;
+    # validating it is the point.
+    # repro: allow[branch-on-secret]
+    if not 0 <= winner < count:
+        raise ArgmaxError(
+            f"share argmax reconstruction produced index {winner} outside "
+            f"[0, {count}); scores exceeded the declared bit length"
+        )
+    return winner

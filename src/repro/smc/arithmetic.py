@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.beaver import BeaverTriple, TrustedDealer
 from repro.crypto.secret_sharing import AdditiveSecretSharer, AdditiveShare
+from repro.crypto.triples import TripleStore
 from repro.smc.network import Channel
 from repro.smc.protocol import Op
 
@@ -70,6 +71,11 @@ class ShareEngine:
     channel:
         Accounted channel for the opening traffic; multiplications cost
         one round of cross-announcements.
+    store:
+        Optional :class:`~repro.crypto.triples.TripleStore`; when
+        attached, multiplications drain precomputed triples from it
+        (strictly -- an exhausted store raises) instead of dealing
+        inline, modelling the offline/online split.
     """
 
     def __init__(
@@ -77,11 +83,21 @@ class ShareEngine:
         dealer: Optional[TrustedDealer] = None,
         channel: Optional[Channel] = None,
         sharer: Optional[AdditiveSecretSharer] = None,
+        store: Optional[TripleStore] = None,
     ) -> None:
-        self._dealer = dealer or TrustedDealer(sharer=sharer)
-        self._sharer = sharer or AdditiveSecretSharer()
+        if dealer is None:
+            dealer = (
+                TrustedDealer(sharer=sharer)
+                if store is None
+                else store.dealer
+            )
+        self._dealer = dealer
+        self._sharer = sharer or AdditiveSecretSharer(modulus=dealer.modulus)
         if self._dealer.modulus != self._sharer.modulus:
             raise ArithmeticError_("dealer and sharer moduli differ")
+        if store is not None and store.modulus != self._sharer.modulus:
+            raise ArithmeticError_("store and sharer moduli differ")
+        self._store = store
         self.channel = channel or Channel()
 
     @property
@@ -106,8 +122,17 @@ class ShareEngine:
         Computes ``z = x * y`` from the identity
         ``z = c + e*b + d*a + e*d`` with ``e = x - a`` and ``d = y - b``
         opened in public.
+
+        With a :class:`~repro.crypto.triples.TripleStore` attached the
+        triple is drained from the precomputed stock (raising
+        :class:`~repro.crypto.triples.TripleStoreExhaustedError` when
+        dry); otherwise the dealer produces it inline.
         """
-        triple0, triple1 = self._dealer.triple()
+        if self._store is not None:
+            firsts, seconds = self._store.take_triples(1)
+            triple0, triple1 = firsts[0], seconds[0]
+        else:
+            triple0, triple1 = self._dealer.triple()
         self.channel.trace.count(Op.SHARE_MUL_TRIPLE)
 
         e_shared = SharedValue(x.share0 - triple0.a, x.share1 - triple1.a)

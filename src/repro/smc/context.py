@@ -69,6 +69,12 @@ class TwoPartyContext:
     server_rng: DeterministicRandom
     statistical_security_bits: int = DEFAULT_STATISTICAL_SECURITY_BITS
     engine: CryptoEngine = field(default_factory=CryptoEngine)
+    #: The protocol backend live queries run on (a
+    #: :class:`repro.secure.backends.ProtocolBackend`). ``None`` on
+    #: directly constructed legacy contexts;
+    #: :func:`repro.secure.base.resolve_backend` then falls back to the
+    #: Paillier backend with a one-time deprecation warning.
+    protocol_backend: Optional[object] = None
 
     @property
     def trace(self) -> ExecutionTrace:
@@ -181,12 +187,15 @@ def make_context(
     engine_backend: Optional[str] = None,
     engine_workers: Optional[int] = None,
     config: Optional[SessionConfig] = None,
+    protocol_backend=None,
 ) -> TwoPartyContext:
     """Build a ready-to-use session context with freshly generated keys.
 
     The preferred interface is ``make_context(config=SessionConfig(...))``
-    (optionally with ``seed=``, ``channel=`` or a prebuilt ``engine=``,
-    which stay first-class). The scattered per-parameter keywords
+    (optionally with ``seed=``, ``channel=``, a prebuilt ``engine=`` or
+    a prebuilt ``protocol_backend=`` -- passing the backend lets many
+    per-request contexts share one offline triple store -- which stay
+    first-class). The scattered per-parameter keywords
     (``paillier_bits``, ``engine_backend``, ...) are deprecated in
     favour of :class:`repro.core.session.SessionConfig`; they keep
     working -- overriding the config when both are given -- but emit one
@@ -255,6 +264,9 @@ def make_context(
             plaintext_bits=cfg.dgk_plaintext_bits,
             rng=master,
         )
+    # Imported here: repro.secure imports this module at import time.
+    from repro.secure.backends import make_protocol_backend
+
     return TwoPartyContext(
         channel=channel or Channel(),
         paillier=paillier,
@@ -265,4 +277,9 @@ def make_context(
         engine=engine
         or make_engine(cfg.engine_backend, workers=cfg.engine_workers,
                        modexp=cfg.crypto_backend),
+        protocol_backend=(
+            protocol_backend
+            if protocol_backend is not None
+            else make_protocol_backend(cfg.protocol_backend)
+        ),
     )

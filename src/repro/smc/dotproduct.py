@@ -10,6 +10,13 @@ This module is where the paper's disclosure optimization pays off for
 linear models: each hidden feature costs one client encryption, one
 ciphertext transfer and one server scalar multiplication, while each
 disclosed feature costs one plaintext multiply-add.
+
+The *share variant* at the bottom is the same contract under the
+``shares`` protocol backend: the client input-shares its hidden
+features, the server input-shares its nonzero weights, and each term
+costs one precomputed Beaver triple -- integer ring arithmetic online,
+with all openings for a whole multi-class score bank batched into one
+two-message exchange.
 """
 
 from __future__ import annotations
@@ -17,8 +24,10 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.crypto.paillier import PaillierCiphertext
+from repro.smc.arithmetic import SharedValue
 from repro.smc.context import TwoPartyContext
 from repro.smc.protocol import Op, protocol_entry
+from repro.smc.shares import ShareSession
 
 
 class DotProductError(Exception):
@@ -101,3 +110,74 @@ def batched_encrypted_dot_products(
         encrypted_dot_product(ctx, encrypted_values, row, offset)
         for row, offset in zip(weight_rows, plaintext_offsets)
     ]
+
+
+# -- share variant (the shares backend's dot-product layer) ------------------
+
+
+@protocol_entry(span="dotproduct.share_features")
+def share_feature_vector(
+    session: ShareSession, values: Sequence[int]
+) -> List[SharedValue]:
+    """Client-side: secret-share hidden feature values.
+
+    The share-backend mirror of :func:`encrypt_feature_vector`: the
+    server's share vector crosses the wire as one ``TAG_SHARE`` list;
+    no cryptographic operations are spent -- sharing is two ring
+    subtractions per feature.
+    """
+    if not values:
+        return []
+    session.ctx.channel.reset_direction()
+    return session.input_client(values)
+
+
+@protocol_entry(span="dotproduct.share_scores")
+def shared_dot_products(
+    session: ShareSession,
+    shared_values: Sequence[SharedValue],
+    weight_rows: Sequence[Sequence[int]],
+    plaintext_offsets: Sequence[int],
+) -> List[SharedValue]:
+    """Server-side: one *shared* score per weight row (multi-class).
+
+    The server input-shares its nonzero weights (one message for every
+    row), then a single batched Beaver multiplication covers every
+    ``w_i * x_i`` term of every row -- two opening messages total. Zero
+    weights are skipped, exactly as the Paillier path skips them; each
+    public offset folds into the client share for free. Rows with no
+    nonzero hidden weight reduce to the shared public offset.
+    """
+    if len(weight_rows) != len(plaintext_offsets):
+        raise DotProductError(
+            f"{len(weight_rows)} weight rows vs {len(plaintext_offsets)} offsets"
+        )
+    terms_per_row: List[List[int]] = []
+    flat_weights: List[int] = []
+    flat_features: List[SharedValue] = []
+    for row in weight_rows:
+        if len(row) != len(shared_values):
+            raise DotProductError(
+                f"{len(shared_values)} shares vs {len(row)} weights"
+            )
+        indices = [i for i, weight in enumerate(row) if weight != 0]
+        terms_per_row.append(indices)
+        flat_weights.extend(row[i] for i in indices)
+        flat_features.extend(shared_values[i] for i in indices)
+
+    if flat_weights:
+        session.ctx.channel.reset_direction()
+        shared_weights = session.input_server(flat_weights)
+        products = session.multiply_batch(flat_features, shared_weights)
+    else:
+        products = []
+
+    scores: List[SharedValue] = []
+    cursor = 0
+    for indices, offset in zip(terms_per_row, plaintext_offsets):
+        score = session.constant(int(offset))
+        for product in products[cursor:cursor + len(indices)]:
+            score = score + product
+        cursor += len(indices)
+        scores.append(score)
+    return scores

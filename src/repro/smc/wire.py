@@ -27,6 +27,8 @@ shape                 encoding
 Paillier ciphertext   ``0x0A`` + u32 length + fixed-width big-endian value
 DGK ciphertext        ``0x0B`` + u32 length + fixed-width big-endian value
 GM ciphertext         ``0x0C`` + u32 length + fixed-width big-endian value
+additive share        ``0x0D`` + u32 length + modulus + fixed-width value
+Beaver triple         ``0x0E`` + u32 count (3) + the ``a``/``b``/``c`` shares
 ====================  ========================================================
 
 Integers use a *signed* two's-complement body of ``bit_length() // 8 + 1``
@@ -38,6 +40,10 @@ their Python equivalents before encoding.
 
 Ciphertext bodies are fixed-width (the size of the key's ciphertext
 group), so message sizes leak nothing about plaintext magnitudes.
+Additive shares (the share backend's openings and input sharings) get
+the same treatment: the value body is zero-padded to the byte width of
+the ring modulus, so a share's wire size depends only on the ring --
+never on the share's magnitude.
 Decoding a ciphertext requires the matching public key; a
 :class:`WireCodec` carries the session's public keys and is the decoding
 entry point. Encoding is keyless.
@@ -55,9 +61,11 @@ import socket
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from repro.crypto.beaver import BeaverTriple
 from repro.crypto.dgk import DgkCiphertext, DgkPublicKey
 from repro.crypto.gm import GMCiphertext, GMPublicKey
 from repro.crypto.paillier import PaillierCiphertext, PaillierPublicKey
+from repro.crypto.secret_sharing import AdditiveShare
 
 try:  # numpy is a hard dependency of the repo, but keep the codec honest
     import numpy as _np
@@ -81,6 +89,8 @@ TAG_DICT = 0x09
 TAG_PAILLIER = 0x0A
 TAG_DGK = 0x0B
 TAG_GM = 0x0C
+TAG_SHARE = 0x0D
+TAG_TRIPLE = 0x0E
 
 #: tag byte + u32 length prefix, paid by every length-prefixed element.
 ELEMENT_OVERHEAD = 5
@@ -155,6 +165,10 @@ def payload_tag_name(payload: Any) -> str:
         return "dgk"
     if isinstance(payload, GMCiphertext):
         return "gm"
+    if isinstance(payload, AdditiveShare):
+        return "share"
+    if isinstance(payload, BeaverTriple):
+        return "triple"
     if isinstance(payload, list):
         return "list"
     if isinstance(payload, tuple):
@@ -190,6 +204,30 @@ def _int_body_length(value: int) -> int:
     return value.bit_length() // 8 + 1
 
 
+def _share_value_width(modulus: int) -> int:
+    """Fixed byte width of a share value in ``Z_modulus``.
+
+    Every element of the ring fits (values are reduced, so strictly
+    below the modulus), and the width depends only on the ring -- share
+    sizes leak nothing about share magnitudes.
+    """
+    return (modulus.bit_length() + 7) // 8
+
+
+def _share_body(share: AdditiveShare) -> bytes:
+    """The length-prefixed body of one additive share element."""
+    if not 0 <= share.value < share.modulus:
+        raise WireError(
+            f"share value {share.value} outside ring Z_{share.modulus}"
+        )
+    width = _share_value_width(share.modulus)
+    return (
+        _U32.pack(width)
+        + share.modulus.to_bytes(width, "big")
+        + share.value.to_bytes(width, "big")
+    )
+
+
 def encoded_size(payload: Any) -> int:
     """Exact length in bytes of :func:`encode` without materialising it.
 
@@ -213,6 +251,15 @@ def encoded_size(payload: Any) -> int:
         return ELEMENT_OVERHEAD + payload.serialized_size_bytes()
     if isinstance(payload, (DgkCiphertext, GMCiphertext)):
         return ELEMENT_OVERHEAD + payload.serialized_size_bytes()
+    if isinstance(payload, AdditiveShare):
+        # TAG_SHARE body: u32 width + modulus + fixed-width value.
+        return ELEMENT_OVERHEAD + 4 + 2 * _share_value_width(payload.modulus)
+    if isinstance(payload, BeaverTriple):
+        # TAG_TRIPLE: u32 count (3) + the a/b/c share elements.
+        return ELEMENT_OVERHEAD + sum(
+            encoded_size(share)
+            for share in (payload.a, payload.b, payload.c)
+        )
     if isinstance(payload, (list, tuple)):
         return ELEMENT_OVERHEAD + sum(encoded_size(item) for item in payload)
     if isinstance(payload, dict):
@@ -277,6 +324,18 @@ def _encode_into(payload: Any, out: bytearray) -> None:
         out += _U32.pack(len(body))
         out += body
         return
+    if isinstance(payload, AdditiveShare):
+        body = _share_body(payload)
+        out.append(TAG_SHARE)
+        out += _U32.pack(len(body))
+        out += body
+        return
+    if isinstance(payload, BeaverTriple):
+        out.append(TAG_TRIPLE)
+        out += _U32.pack(3)
+        for share in (payload.a, payload.b, payload.c):
+            _encode_into(share, out)
+        return
     if isinstance(payload, (list, tuple)):
         out.append(TAG_LIST if isinstance(payload, list) else TAG_TUPLE)
         out += _U32.pack(len(payload))
@@ -333,7 +392,8 @@ class WireCodec:
         if tag == TAG_FLOAT:
             body = self._take(view, offset, 8)
             return _F64.unpack(body)[0], offset + 8
-        if tag in (TAG_INT, TAG_BYTES, TAG_STR, TAG_PAILLIER, TAG_DGK, TAG_GM):
+        if tag in (TAG_INT, TAG_BYTES, TAG_STR, TAG_PAILLIER, TAG_DGK,
+                   TAG_GM, TAG_SHARE):
             length = _U32.unpack(self._take(view, offset, 4))[0]
             offset += 4
             body = bytes(self._take(view, offset, length))
@@ -352,9 +412,28 @@ class WireCodec:
                 if self.dgk is None:
                     raise WireError("no DGK key to decode ciphertext")
                 return DgkCiphertext.from_bytes(body, self.dgk), offset
+            if tag == TAG_SHARE:
+                return self._decode_share(body), offset
             if self.gm is None:
                 raise WireError("no GM key to decode ciphertext")
             return GMCiphertext.from_bytes(body, self.gm), offset
+        if tag == TAG_TRIPLE:
+            count = _U32.unpack(self._take(view, offset, 4))[0]
+            offset += 4
+            if count != 3:
+                raise WireError(
+                    f"Beaver triple must carry 3 shares, got {count}"
+                )
+            shares = []
+            for _ in range(3):
+                item, offset = self._decode(view, offset)
+                if not isinstance(item, AdditiveShare):
+                    raise WireError(
+                        f"Beaver triple element decoded as "
+                        f"{type(item).__name__}, expected an additive share"
+                    )
+                shares.append(item)
+            return BeaverTriple(a=shares[0], b=shares[1], c=shares[2]), offset
         if tag in (TAG_LIST, TAG_TUPLE):
             count = _U32.unpack(self._take(view, offset, 4))[0]
             offset += 4
@@ -373,6 +452,27 @@ class WireCodec:
                 result[key] = value
             return result, offset
         raise WireError(f"unknown type tag 0x{tag:02X}")
+
+    @staticmethod
+    def _decode_share(body: bytes) -> AdditiveShare:
+        """Decode a ``TAG_SHARE`` body (keyless: shares carry their ring)."""
+        if len(body) < 4:
+            raise WireError("truncated share body: missing width")
+        width = _U32.unpack(body[:4])[0]
+        if len(body) != 4 + 2 * width:
+            raise WireError(
+                f"share body carries {len(body)} bytes, expected "
+                f"{4 + 2 * width} for width {width}"
+            )
+        modulus = int.from_bytes(body[4:4 + width], "big")
+        value = int.from_bytes(body[4 + width:], "big")
+        if modulus < 2:
+            raise WireError(f"share modulus {modulus} is not a ring")
+        if value >= modulus:
+            raise WireError(
+                f"share value {value} outside ring Z_{modulus}"
+            )
+        return AdditiveShare(value=value, modulus=modulus)
 
     @staticmethod
     def _take(view: memoryview, offset: int, length: int) -> memoryview:

@@ -9,6 +9,7 @@ from repro.core.exceptions import ReproError
 from repro.core.session import (
     CRYPTO_BACKENDS,
     ENGINE_BACKENDS,
+    PROTOCOL_BACKENDS,
     RNG_MODES,
     TRANSPORT_BACKENDS,
     SessionConfig,
@@ -28,6 +29,7 @@ class TestValidation:
         ("engine_backend", "gpu"),
         ("crypto_backend", "openssl"),
         ("transport_backend", "carrier-pigeon"),
+        ("protocol_backend", "garbled"),
         ("rng_mode", "lava-lamp"),
         ("paillier_bits", 0),
         ("dgk_bits", -1),
@@ -112,6 +114,10 @@ class TestBackendTuplesStayInSync:
     def test_transport_backends(self):
         from repro.smc.transport import TRANSPORT_BACKENDS as REAL
         assert tuple(TRANSPORT_BACKENDS) == tuple(REAL)
+
+    def test_protocol_backends(self):
+        from repro.secure.backends import PROTOCOL_BACKENDS as REAL
+        assert tuple(PROTOCOL_BACKENDS) == tuple(REAL)
 
     def test_rng_modes_cover_context_behaviour(self):
         assert set(RNG_MODES) == {"deterministic", "system"}

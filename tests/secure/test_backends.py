@@ -1,0 +1,267 @@
+"""The protocol-backend seam: paillier/shares parity, traces, the shim.
+
+The acceptance bar for the backend redesign:
+
+* both backends produce *identical labels* on the same model and rows
+  (binary, multi-class and regression);
+* the shares backend's analytic trace equals its live trace **exactly**
+  (fixed-width share encoding + data-independent triple counts);
+* a shares-backend online phase performs *zero* homomorphic operations
+  (the ``op.paillier.*`` / ``op.dgk.*`` telemetry counters stay silent);
+* a legacy context built without a backend still classifies, through
+  the Paillier default, after exactly one :class:`DeprecationWarning`.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.secure.base as secure_base
+import repro.telemetry as telemetry
+from repro.classifiers.linear import LogisticRegressionClassifier
+from repro.classifiers.regression import RidgeRegression
+from repro.core.exceptions import ReproError
+from repro.core.session import PROTOCOL_BACKENDS as CONFIG_BACKENDS
+from repro.core.session import SessionConfig
+from repro.data.schema import FeatureSpec
+from repro.secure.backends import (
+    PROTOCOL_BACKENDS,
+    BackendError,
+    PaillierBackend,
+    SharesBackend,
+    make_protocol_backend,
+)
+from repro.secure.costing import ProtocolSizes
+from repro.secure.secure_linear import SecureLinearClassifier
+from repro.secure.secure_regression import SecureRegression
+from repro.smc.context import make_context
+
+TEST_SIZES = ProtocolSizes(paillier_bits=384, dgk_bits=192)
+_BITS = {"paillier_bits": 384, "dgk_bits": 192, "dgk_plaintext_bits": 16}
+
+
+def _context(backend: str, seed: int = 23):
+    return make_context(config=SessionConfig(
+        seed=seed, protocol_backend=backend, **_BITS
+    ))
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    rng = np.random.default_rng(7)
+    X = rng.integers(0, 8, size=(80, 5))
+    features = [
+        FeatureSpec(name=f"f{i}", domain_size=8) for i in range(X.shape[1])
+    ]
+    return X, features
+
+
+@pytest.fixture(scope="module")
+def binary(cohort):
+    X, features = cohort
+    w = np.array([2.0, -1.5, 0.5, 1.0, -0.5])
+    y = (X @ w > np.median(X @ w)).astype(int)
+    model = LogisticRegressionClassifier(iterations=150).fit(X, y)
+    return SecureLinearClassifier(model, features, sizes=TEST_SIZES)
+
+
+@pytest.fixture(scope="module")
+def multiclass(cohort):
+    X, features = cohort
+    scores = X @ np.array([2.0, -1.5, 0.5, 1.0, -0.5])
+    y = np.digitize(scores, np.quantile(scores, [0.33, 0.66]))
+    model = LogisticRegressionClassifier(iterations=150).fit(X, y)
+    assert len(model.classes) == 3
+    return SecureLinearClassifier(model, features, sizes=TEST_SIZES)
+
+
+@pytest.fixture(scope="module")
+def regression(cohort):
+    X, features = cohort
+    dose = X @ np.array([0.8, -0.3, 0.1, 0.5, -0.2]) + 2.5
+    model = RidgeRegression().fit(X, dose)
+    return SecureRegression(model, features, sizes=TEST_SIZES)
+
+
+class TestRegistry:
+    def test_registry_mirrors_session_config_literal(self):
+        assert tuple(PROTOCOL_BACKENDS) == tuple(CONFIG_BACKENDS)
+
+    def test_factory_builds_the_named_backend(self):
+        assert isinstance(make_protocol_backend("paillier"), PaillierBackend)
+        assert isinstance(make_protocol_backend("shares"), SharesBackend)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendError):
+            make_protocol_backend("garbled")
+
+    def test_session_config_rejects_unknown_backend(self):
+        with pytest.raises(ReproError):
+            SessionConfig(protocol_backend="garbled")
+
+    def test_context_carries_the_configured_backend(self):
+        ctx = _context("shares")
+        assert ctx.protocol_backend.name == "shares"
+        assert _context("paillier").protocol_backend.name == "paillier"
+
+
+class TestLabelParity:
+    """`--backend shares` and `--backend paillier`: identical labels."""
+
+    def test_binary_linear(self, binary, cohort):
+        X, _ = cohort
+        paillier, shares = _context("paillier"), _context("shares")
+        for row in X[:6]:
+            expected = binary.predict_quantized(row)
+            assert binary.classify(paillier, row) == expected
+            assert binary.classify(shares, row) == expected
+
+    def test_multiclass_linear(self, multiclass, cohort):
+        X, _ = cohort
+        paillier, shares = _context("paillier"), _context("shares")
+        for row in X[:5]:
+            expected = multiclass.predict_quantized(row)
+            assert multiclass.classify(paillier, row) == expected
+            assert multiclass.classify(shares, row) == expected
+
+    def test_partial_disclosure_parity(self, binary, cohort):
+        X, _ = cohort
+        paillier, shares = _context("paillier"), _context("shares")
+        disclosure = [0, 2]
+        for row in X[:4]:
+            expected = binary.predict_quantized(row)
+            assert binary.classify(paillier, row, disclosure) == expected
+            assert binary.classify(shares, row, disclosure) == expected
+
+    def test_regression_dose(self, regression, cohort):
+        X, _ = cohort
+        paillier, shares = _context("paillier"), _context("shares")
+        for row in X[:4]:
+            expected = regression.quantized_prediction(row)
+            assert regression.predict_secure(paillier, row) == expected
+            assert regression.predict_secure(shares, row) == expected
+
+
+class TestSharesTraceParity:
+    """The shares analytic model is exact, not an estimate: every byte,
+    message, round and op of a live run must match the prediction."""
+
+    def _assert_exact(self, secure, ctx, classify):
+        classify()
+        live = ctx.trace
+        estimated = secure.estimated_trace(backend=ctx.protocol_backend)
+        assert estimated.bytes_client_to_server == live.bytes_client_to_server
+        assert estimated.bytes_server_to_client == live.bytes_server_to_client
+        assert estimated.total_bytes == live.total_bytes
+        assert estimated.messages == live.messages
+        assert estimated.rounds == live.rounds
+        assert estimated.ops == live.ops
+
+    def test_binary(self, binary, cohort):
+        X, _ = cohort
+        ctx = _context("shares")
+        self._assert_exact(binary, ctx, lambda: binary.classify(ctx, X[0]))
+
+    def test_multiclass(self, multiclass, cohort):
+        X, _ = cohort
+        ctx = _context("shares")
+        self._assert_exact(
+            multiclass, ctx, lambda: multiclass.classify(ctx, X[0])
+        )
+
+    def test_regression(self, regression, cohort):
+        X, _ = cohort
+        ctx = _context("shares")
+        self._assert_exact(
+            regression, ctx, lambda: regression.classify(ctx, X[0])
+        )
+
+
+class TestSharesOnlinePhase:
+    def test_no_homomorphic_ops_in_the_online_phase(self, binary, cohort):
+        """With the shares backend, classification is ring arithmetic:
+        the op.paillier.* / op.dgk.* counters must stay at zero."""
+        X, _ = cohort
+        ctx = _context("shares")
+        telemetry.configure(True, reset=True)
+        try:
+            label = binary.classify(ctx, X[0])
+            counters = telemetry.snapshot()["counters"]
+        finally:
+            telemetry.configure(False, reset=True)
+        assert label == binary.predict_quantized(X[0])
+        heavy = [
+            name for name in counters
+            if name.startswith(("op.paillier", "op.dgk", "op.gm", "op.ot"))
+        ]
+        assert heavy == []
+        assert counters.get("op.share_mul_triple", 0) > 0
+
+    def test_offline_trace_accounts_distributed_material(self, binary, cohort):
+        X, _ = cohort
+        ctx = _context("shares")
+        backend = ctx.protocol_backend
+        nonzero_total = sum(
+            1 for weights in binary.weight_rows for w in weights if w != 0
+        )
+        need = backend.query_requirements(
+            nonzero_total=nonzero_total, n_classes=2,
+            bits=binary.score_bits,
+        )
+        backend.prepare_offline(
+            ctx, binary.score_bits,
+            triples=need["triples"], comparisons=need["comparisons"],
+        )
+        offline = backend.offline_trace()
+        assert offline is not None
+        assert offline.total_bytes > 0
+        online_before = ctx.trace.total_bytes
+        binary.classify(ctx, X[0])
+        assert ctx.trace.total_bytes > online_before
+        # A provisioned query consumes the stockpile instead of dealing.
+        store = backend.store_for(ctx, binary.score_bits)
+        assert store.total_dealt[0] == need["triples"]
+
+    def test_paillier_backend_has_no_offline_phase(self):
+        assert make_protocol_backend("paillier").offline_trace() is None
+
+
+class TestLegacyShim:
+    def test_backendless_context_warns_once_then_works(self, binary, cohort):
+        X, _ = cohort
+        ctx = _context("paillier")
+        ctx.protocol_backend = None  # a directly constructed legacy ctx
+        secure_base._no_backend_warned = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = binary.classify(ctx, X[0])
+                second = binary.classify(ctx, X[1])
+            deprecations = [
+                w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "protocol backend" in str(w.message)
+            ]
+            assert len(deprecations) == 1
+            assert "make_context" in str(deprecations[0].message)
+        finally:
+            secure_base._no_backend_warned = False
+        assert first == binary.predict_quantized(X[0])
+        assert second == binary.predict_quantized(X[1])
+
+
+class TestPipelineIntegration:
+    def test_non_linear_classifier_rejected_early(self):
+        from repro.core.pipeline import PipelineConfig
+
+        with pytest.raises(ReproError):
+            PipelineConfig(classifier="naive_bayes",
+                           protocol_backend="shares")
+
+    def test_linear_pipeline_accepts_shares(self):
+        from repro.core.pipeline import PipelineConfig
+
+        config = PipelineConfig(classifier="linear",
+                                protocol_backend="shares")
+        assert config.effective_protocol_backend() == "shares"

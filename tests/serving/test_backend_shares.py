@@ -1,0 +1,97 @@
+"""Serving with ``protocol_backend="shares"``: end-to-end over TCP.
+
+A linear deployment served by a shares-backend server must answer the
+same labels as a paillier-backend server (and as the plaintext
+quantised reference), with the request protocol's share elements
+physically crossing the socket. The server owns one shares backend, so
+the offline triple store is shared across requests.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineConfig, PrivacyAwareClassifier
+from repro.core.serialization import deployment_from_dict, deployment_to_dict
+from repro.core.session import SessionConfig
+from repro.data.schema import Dataset, FeatureSpec
+from repro.serving import ClassificationServer
+from repro.smc.transport import request_classification
+
+_BITS = {"paillier_bits": 384, "dgk_bits": 192}
+
+
+@pytest.fixture(scope="module")
+def linear_bundle():
+    rng = np.random.default_rng(3)
+    X = rng.integers(0, 8, size=(80, 5))
+    w = np.array([2.0, -1.5, 0.5, 1.0, -0.5])
+    y = (X @ w > np.median(X @ w)).astype(int)
+    features = [
+        FeatureSpec(name=f"f{i}", domain_size=8, sensitive=(i == 0))
+        for i in range(X.shape[1])
+    ]
+    dataset = Dataset(name="shares-serving", features=features, X=X, y=y)
+    pipeline = PrivacyAwareClassifier(
+        PipelineConfig(classifier="linear", **_BITS)
+    ).fit(dataset)
+    pipeline.select_disclosure(0.3)
+    deployed = deployment_from_dict(deployment_to_dict(pipeline))
+    return deployed, pipeline, [[int(v) for v in row] for row in X[:4]]
+
+
+def _serve(deployed, backend):
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    server = ClassificationServer(
+        deployed, listener,
+        config=SessionConfig(protocol_backend=backend, **_BITS),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread, port
+
+
+def _stop(server, thread):
+    server.shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def test_shares_server_matches_paillier_server(linear_bundle):
+    deployed, pipeline, rows = linear_bundle
+    labels = {}
+    for backend in ("paillier", "shares"):
+        server, thread, port = _serve(deployed, backend)
+        try:
+            labels[backend] = [
+                request_classification(
+                    "127.0.0.1", port, row, seed=900 + i
+                ).label
+                for i, row in enumerate(rows)
+            ]
+        finally:
+            _stop(server, thread)
+    assert labels["shares"] == labels["paillier"]
+    expected = [
+        int(pipeline.secure_model.predict_quantized(np.asarray(row)))
+        for row in rows
+    ]
+    assert labels["shares"] == expected
+
+
+def test_shares_server_reports_honest_byte_accounting(linear_bundle):
+    deployed, _, rows = linear_bundle
+    server, thread, port = _serve(deployed, "shares")
+    try:
+        result = request_classification("127.0.0.1", port, rows[0], seed=77)
+    finally:
+        _stop(server, thread)
+    trace = result.server_trace
+    assert result.client_stats["bytes_received"] == trace["bytes_total"]
+    assert trace.get("op_share_mul_triple", 0) > 0
+    assert not any(
+        key.startswith(("op_paillier", "op_dgk")) for key in trace
+    )

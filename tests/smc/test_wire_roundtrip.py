@@ -11,9 +11,21 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.crypto.beaver import BeaverTriple
 from repro.crypto.rand import fresh_rng
+from repro.crypto.secret_sharing import AdditiveShare
 from repro.smc import wire
 from repro.smc.wire import WireCodec
+
+_MOD = 1 << 64
+
+
+def _triple(a, b, c, modulus=_MOD):
+    return BeaverTriple(
+        AdditiveShare(a, modulus),
+        AdditiveShare(b, modulus),
+        AdditiveShare(c, modulus),
+    )
 
 #: Top-level payload samples per tag name. Ciphertext tags hold
 #: callables taking the session key fixtures, since building a sample
@@ -39,6 +51,19 @@ SAMPLES_BY_TAG = {
     ],
     "TAG_GM": [
         lambda keys: keys["gm"].public_key.encrypt_bit(1, rng=fresh_rng(53)),
+    ],
+    # Share elements need no key material: the modulus rides along in
+    # the fixed-width body, so even a keyless codec round-trips them.
+    "TAG_SHARE": [
+        AdditiveShare(0, _MOD),
+        AdditiveShare(_MOD - 1, _MOD),
+        AdditiveShare(12345, 1 << 96),
+        AdditiveShare(1, 2),
+    ],
+    "TAG_TRIPLE": [
+        _triple(0, 0, 0),
+        _triple(_MOD - 1, 2, _MOD - 2),
+        _triple(3, 5, 15, modulus=1 << 96),
     ],
 }
 
@@ -125,4 +150,41 @@ def test_arbitrary_plain_payload_round_trips(payload):
     blob = wire.encode(payload)
     assert wire.encoded_size(payload) == len(blob)
     decoded = WireCodec().decode(blob)
+    assert wire.encode(decoded) == blob
+
+
+# -- property-based sweep over share/triple elements ----------------------
+
+_modulus_bits = st.integers(min_value=1, max_value=300)
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.data())
+def test_share_round_trips_through_keyless_codec(data):
+    """Any ring element survives encode -> keyless decode -> encode,
+    and its wire size depends only on the modulus width."""
+    modulus = 1 << data.draw(_modulus_bits)
+    value = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+    share = AdditiveShare(value, modulus)
+    blob = wire.encode(share)
+    assert wire.encoded_size(share) == len(blob)
+    decoded = WireCodec().decode(blob)
+    assert decoded == share
+    assert wire.encode(decoded) == blob
+    zero = AdditiveShare(0, modulus)
+    assert len(wire.encode(zero)) == len(blob)
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_triple_round_trips_through_keyless_codec(data):
+    modulus = 1 << data.draw(_modulus_bits)
+    ints = st.integers(min_value=0, max_value=modulus - 1)
+    triple = _triple(
+        data.draw(ints), data.draw(ints), data.draw(ints), modulus=modulus
+    )
+    blob = wire.encode(triple)
+    assert wire.encoded_size(triple) == len(blob)
+    decoded = WireCodec().decode(blob)
+    assert decoded == triple
     assert wire.encode(decoded) == blob

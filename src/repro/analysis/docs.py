@@ -9,9 +9,11 @@ to detect mechanically, so this module makes them CI failures:
   verifies that repo-relative targets exist and that ``#anchors``
   resolve to a real heading (GitHub's slug rules) in the target file;
 * :func:`check_cli_flag_drift` verifies that every ``--flag`` token
-  mentioned in ``docs/DEPLOYMENT.md`` is a real flag of
-  ``python -m repro serve --help``, so the operator guide cannot drift
-  from the CLI it documents.
+  mentioned in an operator guide is a real flag of the CLI commands
+  that guide documents (:data:`DOC_COMMANDS` maps guide -> commands;
+  ``docs/DEPLOYMENT.md`` and ``docs/PRIVACY.md`` check against both
+  ``python -m repro serve --help`` and ``python -m repro budget
+  --help``), so a guide cannot drift from the CLI it documents.
 
 Run it the same way CI does::
 
@@ -129,28 +131,46 @@ def _check_one_target(target: str, base: str, root: str,
     return []
 
 
-def serve_help_text() -> str:
-    """The ``python -m repro serve --help`` text, captured in-process."""
+#: Which CLI commands each operator guide documents: every ``--flag``
+#: the guide mentions must belong to one of these commands' parsers.
+DOC_COMMANDS = {
+    "DEPLOYMENT.md": ("serve", "budget"),
+    "PRIVACY.md": ("serve", "budget"),
+}
+
+
+def command_help_text(command: str) -> str:
+    """A ``python -m repro <command> --help`` text, captured in-process."""
     from repro.cli import build_parser
 
     for action in build_parser()._actions:
         if isinstance(action, argparse._SubParsersAction):
-            return action.choices["serve"].format_help()
+            return action.choices[command].format_help()
     raise RuntimeError("repro CLI has no subcommands")  # pragma: no cover
 
 
-def check_cli_flag_drift(doc_path: str,
-                         help_text: Optional[str] = None) -> List[str]:
-    """Every ``--flag`` token in ``doc_path`` must be a real serve flag.
+def serve_help_text() -> str:
+    """The ``python -m repro serve --help`` text, captured in-process."""
+    return command_help_text("serve")
 
-    The operator guide documents ``python -m repro serve``; a flag that
-    the command no longer accepts (renamed, removed) is drift, reported
-    as a problem. ``help_text`` defaults to the live parser's help so
-    the check can never disagree with the shipping CLI.
+
+def check_cli_flag_drift(
+    doc_path: str,
+    help_text: Optional[str] = None,
+    commands: Sequence[str] = ("serve",),
+) -> List[str]:
+    """Every ``--flag`` token in ``doc_path`` must be a real CLI flag.
+
+    An operator guide documents one or more ``python -m repro``
+    commands (``commands``); a flag that none of them accepts any more
+    (renamed, removed) is drift, reported as a problem. ``help_text``
+    defaults to the live parsers' concatenated help so the check can
+    never disagree with the shipping CLI.
     """
     if help_text is None:
-        help_text = serve_help_text()
+        help_text = "\n".join(command_help_text(c) for c in commands)
     known = set(_FLAG_RE.findall(help_text))
+    spelled = "|".join(commands)
     with open(doc_path, "r", encoding="utf-8") as handle:
         text = handle.read()
     problems = []
@@ -159,7 +179,7 @@ def check_cli_flag_drift(doc_path: str,
             if flag not in known:
                 problems.append(
                     f"{doc_path}:{number}: flag {flag} is not accepted by "
-                    f"'python -m repro serve' (drifted doc?)"
+                    f"'python -m repro {spelled}' (drifted doc?)"
                 )
     return problems
 
@@ -197,8 +217,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     files = _expand_markdown(args.paths)
     problems = check_links(files, root=args.root)
     for path in files:
-        if os.path.basename(path) == "DEPLOYMENT.md":
-            problems.extend(check_cli_flag_drift(path))
+        commands = DOC_COMMANDS.get(os.path.basename(path))
+        if commands:
+            problems.extend(check_cli_flag_drift(path, commands=commands))
     for problem in problems:
         print(problem)
     print(f"{len(problems)} problem(s) in {len(files)} file(s)",

@@ -16,7 +16,10 @@ implementations) and the telemetry entry points eagerly; the deployment *serving
 that ``import repro.api`` never drags in the TCP transport stack --
 scripts that only train and classify in-process stay light, and the
 facade import itself cannot open sockets or spawn process pools
-(``tests/core/test_api_facade.py`` pins this).
+(``tests/core/test_api_facade.py`` pins this). The privacy-budget
+ledger surface (:class:`PrivacyLedger`, :class:`BudgetEnforcer`,
+:class:`BudgetDecision`; see ``docs/PRIVACY.md``) is lazy for the same
+reason.
 
 Everything listed in ``__all__`` is public API with deprecation-window
 stability; anything else in the package tree is implementation detail.
@@ -43,6 +46,8 @@ from repro.smc.context import TwoPartyContext, make_context
 from repro.telemetry import span
 
 __all__ = [
+    "BudgetDecision",
+    "BudgetEnforcer",
     "ClassificationResult",
     "ClassificationServer",
     "DisclosureProblem",
@@ -50,6 +55,7 @@ __all__ = [
     "PaillierBackend",
     "PipelineConfig",
     "PrivacyAwareClassifier",
+    "PrivacyLedger",
     "ProtocolBackend",
     "ReproError",
     "RiskMetric",
@@ -70,7 +76,10 @@ __all__ = [
 #: Lazily resolved exports: name -> (module, attribute). These pull in
 #: sockets/multiprocessing machinery, so they only load on first touch.
 _LAZY_EXPORTS = {
+    "BudgetDecision": ("repro.serving.budget", "BudgetDecision"),
+    "BudgetEnforcer": ("repro.serving.budget", "BudgetEnforcer"),
     "ClassificationResult": ("repro.smc.transport", "ClassificationResult"),
+    "PrivacyLedger": ("repro.privacy.ledger", "PrivacyLedger"),
     "ClassificationServer": ("repro.serving", "ClassificationServer"),
     "ServerError": ("repro.smc.transport", "ServerError"),
     "request_classification": (

@@ -23,7 +23,11 @@ Commands
     Run the crypto/protocol invariant linter (see
     ``docs/STATIC_ANALYSIS.md``).
 ``metrics``
-    Inspect (and schema-validate) a telemetry metrics document.
+    Inspect (and schema-validate) a telemetry metrics document:
+    spans, counters, gauges and histogram quantiles.
+``budget``
+    Inspect, rank or reset the per-client privacy-budget ledger that
+    ``serve --ledger`` maintains (see ``docs/PRIVACY.md``).
 
 Every command takes ``--format {text,json}`` (the convention ``lint``
 introduced); ``tradeoff``, ``classify`` and ``serve`` also take
@@ -158,8 +162,41 @@ def build_parser() -> argparse.ArgumentParser:
                             "requires a linear bundle; one triple store "
                             "is shared per server process; default "
                             "paillier)")
+    serve.add_argument("--ledger", default=None,
+                       help="sqlite privacy-budget ledger path; enables "
+                            "per-client cumulative disclosure pricing "
+                            "(requires a bundle with a risk_model "
+                            "section; see docs/PRIVACY.md; default: no "
+                            "ledger, full disclosure served)")
+    serve.add_argument("--privacy-budget", type=float, default=None,
+                       dest="privacy_budget",
+                       help="default per-client budget rho in [0, 1] for "
+                            "clients the ledger has not seen before "
+                            "(default 0.5; existing clients keep their "
+                            "recorded budget)")
     add_format_argument(serve)
     add_metrics_argument(serve)
+
+    budget = commands.add_parser(
+        "budget", help="inspect or administer a privacy-budget ledger"
+    )
+    budget.add_argument(
+        "action", choices=("inspect", "top", "reset"),
+        help="inspect: one client's record (or all clients); top: "
+             "highest-spend clients; reset: forget a client's history "
+             "(grants budget back -- see the runbook in docs/PRIVACY.md)",
+    )
+    budget.add_argument("--ledger", required=True,
+                        help="path to the sqlite ledger file")
+    budget.add_argument("--client", default=None,
+                        help="client identity (pk-...) to inspect or reset")
+    budget.add_argument("--limit", type=int, default=10,
+                        help="rows for 'top' and the charge journal "
+                             "(default 10)")
+    budget.add_argument("--all", action="store_true", dest="reset_all",
+                        help="with 'reset': wipe every client (required "
+                             "when no --client is given)")
+    add_format_argument(budget)
 
     attack = commands.add_parser(
         "attack", help="model-inversion escalation (Fredrikson-style)"
@@ -181,7 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
 
     metrics = commands.add_parser(
-        "metrics", help="inspect a telemetry metrics JSON document"
+        "metrics",
+        help="inspect a telemetry metrics JSON document (spans, "
+             "counters, gauges, histogram quantiles)",
     )
     metrics.add_argument(
         "path", help="metrics document to read ('-' for stdin)"
@@ -232,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "calibrate": _cmd_calibrate,
         "lint": _cmd_lint,
         "metrics": _cmd_metrics,
+        "budget": _cmd_budget,
     }[args.command]
     return handler(args)
 
@@ -434,6 +474,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protocol_backend=args.backend or "paillier",
         shards=args.shards,
         telemetry=bool(metered),
+        ledger_path=args.ledger,
+        privacy_budget=args.privacy_budget,
     )
     if config.shards > 1:
         from repro.serving import ClassificationFleet
@@ -568,6 +610,67 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         text=table.render(),
         payload={"profile": profile.name, "op_seconds": op_seconds},
     )
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.privacy.ledger import LedgerError, PrivacyLedger
+
+    if not os.path.exists(args.ledger):
+        print(f"no ledger at {args.ledger}", file=sys.stderr)
+        return 1
+    with PrivacyLedger(args.ledger) as ledger:
+        if args.action == "reset":
+            if args.client is None and not args.reset_all:
+                print("reset needs --client ID or --all", file=sys.stderr)
+                return 1
+            removed = ledger.reset(args.client)
+            emit(
+                args.format,
+                text=f"forgot {removed} client(s) from {args.ledger}",
+                payload={"ledger": args.ledger, "removed": removed},
+            )
+            return 0
+        if args.action == "top":
+            records = ledger.top(args.limit)
+        elif args.client is not None:
+            try:
+                records = [ledger.client(args.client)]
+            except LedgerError as error:
+                print(str(error), file=sys.stderr)
+                return 1
+        else:
+            records = [ledger.client(c) for c in ledger.clients()]
+        table = Table(
+            f"Privacy-budget ledger {args.ledger} "
+            f"(schema v{ledger.schema_version})",
+            ["client", "spent", "budget", "remaining", "disclosed",
+             "charges"],
+        )
+        for record in records:
+            table.add_row([
+                record.client_id, record.spent, record.budget,
+                record.remaining, len(record.disclosed), record.charges,
+            ])
+        payload = {
+            "ledger": args.ledger,
+            "schema_version": ledger.schema_version,
+            "clients": [record.to_dict() for record in records],
+        }
+        lines = [table.render()]
+        if args.action == "inspect" and args.client is not None and records:
+            journal = ledger.charges(args.client, limit=args.limit)
+            payload["charges"] = [charge.to_dict() for charge in journal]
+            lines.append("recent charges (newest first):")
+            for charge in journal:
+                lines.append(
+                    f"  {charge.created_at} {charge.request_id} "
+                    f"mode={charge.mode} delta={charge.delta:.6f} "
+                    f"features={list(charge.features)}"
+                )
+    emit(args.format, text="\n".join(lines), payload=payload)
     return 0
 
 

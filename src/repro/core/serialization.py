@@ -170,7 +170,10 @@ class DeployedClassifier:
     """The online half of the system: model + schema + policy.
 
     Serves live hybrid queries through :meth:`classify`; carries no
-    training data, adversary tables or optimizer state.
+    training data or optimizer state. The optional ``risk_model``
+    section carries the adversary's *aggregate* smoothed tables (never
+    raw records) so a serving host can price cumulative disclosure for
+    the privacy-budget ledger.
     """
 
     kind: str
@@ -180,6 +183,12 @@ class DeployedClassifier:
     precision_bits: int
     paillier_bits: int
     dgk_bits: int
+    #: Optional serialized pricing state (see
+    #: :func:`repro.privacy.pricing.risk_model_to_dict`). When present,
+    #: a serving host can price per-client cumulative disclosure for
+    #: the privacy-budget ledger without the training pipeline; when
+    #: absent, budget enforcement is unavailable for this bundle.
+    risk_model: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         encoder = FixedPointEncoder(self.precision_bits)
@@ -249,7 +258,7 @@ def deployment_to_dict(pipeline: PrivacyAwareClassifier) -> Dict:
         raise ReproError(f"cannot serialise classifier kind {kind!r}")
     solution = pipeline.solution
     dataset = pipeline._require_fitted()
-    return {
+    bundle = {
         "format_version": FORMAT_VERSION,
         "classifier": kind,
         "model": _TO_DICT[kind](pipeline.plain_model),
@@ -260,6 +269,16 @@ def deployment_to_dict(pipeline: PrivacyAwareClassifier) -> Dict:
         "paillier_bits": pipeline.config.paillier_bits,
         "dgk_bits": pipeline.config.dgk_bits,
     }
+    # Under the naive-Bayes adversary the fitted pricing state is
+    # serializable; ship it so the serving side can enforce per-client
+    # privacy budgets (repro.privacy.ledger). The chow_liu adversary
+    # has no incremental evaluator -- such bundles simply cannot be
+    # served with a ledger.
+    if pipeline._risk_evaluator is not None:
+        from repro.privacy.pricing import risk_model_to_dict
+
+        bundle["risk_model"] = risk_model_to_dict(pipeline._risk_evaluator)
+    return bundle
 
 
 def deployed_to_dict(deployed: DeployedClassifier) -> Dict:
@@ -272,7 +291,7 @@ def deployed_to_dict(deployed: DeployedClassifier) -> Dict:
     """
     if deployed.kind not in _TO_DICT:
         raise ReproError(f"cannot serialise classifier kind {deployed.kind!r}")
-    return {
+    bundle = {
         "format_version": FORMAT_VERSION,
         "classifier": deployed.kind,
         "model": _TO_DICT[deployed.kind](deployed.plain_model),
@@ -282,6 +301,9 @@ def deployed_to_dict(deployed: DeployedClassifier) -> Dict:
         "paillier_bits": deployed.paillier_bits,
         "dgk_bits": deployed.dgk_bits,
     }
+    if deployed.risk_model is not None:
+        bundle["risk_model"] = deployed.risk_model
+    return bundle
 
 
 def deployment_from_dict(payload: Dict) -> DeployedClassifier:
@@ -303,6 +325,7 @@ def deployment_from_dict(payload: Dict) -> DeployedClassifier:
         precision_bits=int(payload["precision_bits"]),
         paillier_bits=int(payload["paillier_bits"]),
         dgk_bits=int(payload["dgk_bits"]),
+        risk_model=payload.get("risk_model"),
     )
 
 

@@ -94,6 +94,15 @@ class SessionConfig:
         connections are shed with an ``overloaded`` error, and the
         per-request wall-clock deadline in seconds (``None`` = fall
         back to ``io_timeout``).
+    ledger_path / privacy_budget:
+        Cumulative privacy-budget enforcement for served deployments
+        (:mod:`repro.privacy.ledger`). ``ledger_path`` is the sqlite
+        file durably recording each client's disclosed features and
+        realized risk (``None`` = no ledger, requests are served with
+        their full disclosure set); ``privacy_budget`` is the default
+        per-client budget ``rho`` in ``[0, 1]`` for clients the ledger
+        has not seen before (``None`` = the ledger default). See
+        ``docs/PRIVACY.md``.
     shards:
         Number of independent shard *processes* behind the serving
         frontend (:class:`repro.serving.ClassificationFleet`). ``1``
@@ -131,6 +140,8 @@ class SessionConfig:
     queue_depth: int = 16
     request_timeout_s: Optional[float] = None
     shards: int = 1
+    ledger_path: Optional[str] = None
+    privacy_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.engine_backend not in ENGINE_BACKENDS:
@@ -183,6 +194,13 @@ class SessionConfig:
             )
         if self.shards < 1:
             raise ReproError(f"shards must be positive, got {self.shards}")
+        if self.privacy_budget is not None and not (
+            0.0 <= self.privacy_budget <= 1.0
+        ):
+            raise ReproError(
+                f"privacy_budget must be a normalized risk in [0, 1], "
+                f"got {self.privacy_budget}"
+            )
 
     def with_overrides(self, **overrides) -> "SessionConfig":
         """A copy with the given fields replaced (validation re-runs)."""
@@ -195,9 +213,9 @@ class SessionConfig:
         Reads whichever of ``--seed``, ``--engine``, ``--workers``,
         ``--crypto-backend``, ``--transport``, ``--backend``,
         ``--rng-mode``,
-        ``--metrics``, ``--queue-depth``, ``--request-timeout`` and
-        ``--shards`` the subcommand defined; anything absent keeps its
-        default.
+        ``--metrics``, ``--queue-depth``, ``--request-timeout``,
+        ``--shards``, ``--ledger`` and ``--privacy-budget`` the
+        subcommand defined; anything absent keeps its default.
         ``extra`` overrides both.
         """
         values = {}
@@ -212,6 +230,8 @@ class SessionConfig:
             ("queue_depth", "queue_depth"),
             ("request_timeout_s", "request_timeout"),
             ("shards", "shards"),
+            ("ledger_path", "ledger"),
+            ("privacy_budget", "privacy_budget"),
         ):
             value = getattr(args, arg_name, None)
             if value is not None:

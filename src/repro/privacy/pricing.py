@@ -1,0 +1,240 @@
+"""Disclosure pricing against a cumulative privacy budget.
+
+The ledger (:mod:`repro.privacy.ledger`) stores *what* each client has
+seen; this module computes *what it costs*. Risk composes non-linearly
+-- two individually cheap features can be jointly expensive -- so a
+client's cumulative spend is always the priced risk of their full
+disclosed set, never a sum of per-feature prices. Re-disclosing a
+feature therefore costs exactly zero by construction: ``risk(D | D)``
+changes nothing.
+
+Two pieces:
+
+* :class:`DisclosurePricer` wraps the paper's
+  :class:`~repro.privacy.incremental.IncrementalRiskEvaluator` with a
+  set-oriented interface (sync-to-set, price-a-set, and a greedy
+  :meth:`~DisclosurePricer.plan` that shrinks a requested disclosure
+  set to fit the client's remaining budget -- the degradation ladder's
+  middle rung).
+* ``risk_model_to_dict`` / ``risk_model_from_dict`` serialize the
+  fitted pricing state (the naive-Bayes adversary's smoothed tables, an
+  evaluation-row sample, metric and column roles) into a deployment
+  bundle, so a serving host can price disclosures without ever holding
+  the training pipeline.
+
+The serving glue (identity, ledger transaction, telemetry) lives in
+:mod:`repro.serving.budget`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.privacy.adversary import NaiveBayesAdversary
+from repro.privacy.incremental import IncrementalRiskEvaluator
+from repro.privacy.risk import RiskError, RiskMetric
+
+#: Version tag of the serialized risk-model payload embedded in
+#: deployment bundles (independent of the bundle FORMAT_VERSION).
+RISK_MODEL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """Outcome of fitting a requested disclosure set to a budget.
+
+    ``granted`` is the subset of the request the budget admits (in
+    ascending feature order), ``dropped`` what had to be withheld;
+    ``spent_before``/``spent_after`` are the client's cumulative
+    realized risk around the charge, so ``delta`` is the marginal cost
+    of this request. ``spent_after <= budget`` always holds.
+    """
+
+    granted: Tuple[int, ...]
+    dropped: Tuple[int, ...]
+    spent_before: float
+    spent_after: float
+
+    @property
+    def delta(self) -> float:
+        return max(0.0, self.spent_after - self.spent_before)
+
+
+class DisclosurePricer:
+    """Set-oriented pricing facade over the incremental evaluator.
+
+    Holds one :class:`IncrementalRiskEvaluator` and keeps its stack
+    synchronised to whichever client's cumulative set is being priced.
+    Not thread-safe on its own -- the serving enforcer serialises
+    pricing + ledger writes under one lock.
+    """
+
+    def __init__(self, evaluator: IncrementalRiskEvaluator) -> None:
+        self.evaluator = evaluator
+        self._risk = evaluator.as_risk_function()
+
+    @property
+    def n_features(self) -> int:
+        return int(self.evaluator.rows.shape[1])
+
+    def price(self, disclosure_set: Iterable[int]) -> float:
+        """Normalized cumulative risk of ``disclosure_set`` (syncs the
+        evaluator's stack to the set via minimal pops/pushes)."""
+        return float(self._risk(list(disclosure_set)))
+
+    def plan(
+        self,
+        base: Iterable[int],
+        requested: Sequence[int],
+        budget: float,
+    ) -> PricingPlan:
+        """Fit ``requested`` on top of the client's ``base`` history.
+
+        Features already in ``base`` are granted for free (the
+        no-double-charge rule). New features are admitted greedily by
+        ascending marginal risk while the cumulative risk of
+        ``base + admitted`` stays within ``budget`` -- greedy on the
+        same peek-risk primitive the paper's disclosure optimizer uses,
+        so a partially depleted client gets the cheapest viable subset
+        of what they asked for rather than all-or-nothing.
+        """
+        history: Set[int] = {int(f) for f in base}
+        request = [int(f) for f in requested]
+        free = sorted(f for f in set(request) if f in history)
+        fresh = sorted(set(request) - history)
+        background = set(self.evaluator.background_columns)
+
+        spent_before = self.price(history)
+        granted: List[int] = list(free)
+        dropped: List[int] = []
+        spent_after = spent_before
+
+        # Evaluator stack now mirrors `history` (minus background
+        # columns, which are free anyway). Admit candidates cheapest-
+        # marginal-first; each accepted push updates the cached state so
+        # later peeks price against the grown set.
+        remaining = set(fresh)
+        while remaining:
+            best_feature = min(remaining)
+            best_risk = self.evaluator.peek_risk(best_feature)
+            for feature in sorted(remaining - {best_feature}):
+                trial = self.evaluator.peek_risk(feature)
+                if trial < best_risk:
+                    best_feature, best_risk = feature, trial
+            remaining.discard(best_feature)
+            if best_risk <= budget + 1e-12:
+                if best_feature not in background:
+                    self.evaluator.push(best_feature)
+                granted.append(best_feature)
+                spent_after = max(spent_after, min(float(best_risk), budget))
+            else:
+                dropped.append(best_feature)
+
+        return PricingPlan(
+            granted=tuple(sorted(granted)),
+            dropped=tuple(sorted(dropped)),
+            spent_before=float(spent_before),
+            spent_after=float(spent_after),
+        )
+
+
+# -- risk-model serialization (deployment bundle section) ----------------
+
+
+def risk_model_to_dict(evaluator: IncrementalRiskEvaluator) -> Dict:
+    """Serialize the pricing state for a deployment bundle.
+
+    Captures the fitted naive-Bayes adversary (smoothed prior and
+    per-feature conditional tables -- aggregate statistics, not raw
+    training records), the evaluation-row sample risk is averaged over,
+    and the metric/column-role configuration. JSON-compatible: every
+    array becomes nested lists.
+    """
+    adversary = evaluator.adversary
+    if not isinstance(adversary, NaiveBayesAdversary):
+        raise RiskError(
+            "only the naive-Bayes adversary can be serialized for "
+            "serving-side pricing"
+        )
+    return {
+        "version": RISK_MODEL_VERSION,
+        "metric": evaluator.metric.value,
+        "sensitive_columns": [int(c) for c in evaluator.sensitive_columns],
+        "background_columns": [
+            int(c) for c in evaluator.background_columns
+        ],
+        "evaluation_rows": np.asarray(evaluator.rows).astype(int).tolist(),
+        "adversary": {
+            "kind": "naive_bayes",
+            "alpha": float(adversary.alpha),
+            "n_columns": int(np.asarray(adversary.data).shape[1]),
+            "domain_sizes": [int(d) for d in adversary.domain_sizes],
+            "priors": {
+                str(t): [float(p) for p in adversary._priors[t]]
+                for t in adversary.sensitive_columns
+            },
+            "conditionals": {
+                str(t): {
+                    str(f): np.asarray(table).tolist()
+                    for f, table in tables.items()
+                }
+                for t, tables in adversary._conditionals.items()
+            },
+        },
+    }
+
+
+def risk_model_from_dict(payload: Dict) -> IncrementalRiskEvaluator:
+    """Rebuild the pricing evaluator from a serialized payload.
+
+    The adversary is reconstructed directly from its smoothed tables
+    (bypassing the fitting constructor -- there is no training data on
+    the serving host), then wrapped in a fresh incremental evaluator
+    over the bundled evaluation rows. Round-trips exactly:
+    ``rebuild.risk_of_set(S) == original.risk_of_set(S)`` for every S.
+    """
+    version = int(payload.get("version", 0))
+    if version != RISK_MODEL_VERSION:
+        raise RiskError(
+            f"unsupported risk-model payload version {version} "
+            f"(expected {RISK_MODEL_VERSION})"
+        )
+    spec = payload["adversary"]
+    if spec.get("kind") != "naive_bayes":
+        raise RiskError(f"unsupported adversary kind {spec.get('kind')!r}")
+
+    adversary = NaiveBayesAdversary.__new__(NaiveBayesAdversary)
+    adversary.data = np.zeros((0, int(spec["n_columns"])), dtype=int)
+    adversary.domain_sizes = [int(d) for d in spec["domain_sizes"]]
+    adversary.sensitive_columns = [
+        int(c) for c in payload["sensitive_columns"]
+    ]
+    adversary.alpha = float(spec["alpha"])
+    adversary._priors = {
+        int(t): np.asarray(prior, dtype=float)
+        for t, prior in spec["priors"].items()
+    }
+    adversary._conditionals = {
+        int(t): {
+            int(f): np.asarray(table, dtype=float)
+            for f, table in tables.items()
+        }
+        for t, tables in spec["conditionals"].items()
+    }
+    adversary._log_conditionals = {
+        t: {f: np.log(table) for f, table in tables.items()}
+        for t, tables in adversary._conditionals.items()
+    }
+
+    return IncrementalRiskEvaluator(
+        adversary=adversary,
+        evaluation_rows=np.asarray(payload["evaluation_rows"], dtype=int),
+        sensitive_columns=[int(c) for c in payload["sensitive_columns"]],
+        metric=RiskMetric(payload["metric"]),
+        background_columns=[
+            int(c) for c in payload.get("background_columns", [])
+        ],
+    )

@@ -25,7 +25,14 @@ Frontend responsibilities, in routing order:
    overloaded shard still answers its accept loop); a refused
    connection or EOF marks the shard unhealthy until a later probe
    succeeds -- and optionally restarts the process if it died.
-4. **Graceful drain.** :meth:`ClassificationFleet.drain_shard` stops
+4. **Budget enforcement.** With ``config.ledger_path`` set, the
+   frontend owns the fleet's single privacy-budget ledger
+   (:mod:`repro.serving.budget`): each ``KIND_REQUEST`` is attributed
+   to a client (keyring fingerprint derived -- once, cached -- from its
+   seed), its disclosure set priced, degraded and charged *before*
+   relay, and the frame rewritten with the granted set. Shards run
+   with ``ledger_path=None``, so a request is never double-charged.
+5. **Graceful drain.** :meth:`ClassificationFleet.drain_shard` stops
    routing to one shard, asks it to stop with an *authorized*
    ``KIND_SHUTDOWN`` (the token minted by the shard at bind time and
    reported to the frontend over the spawn pipe), waits for its
@@ -49,8 +56,11 @@ import time
 from typing import Any, Dict, List, Optional
 
 import repro.telemetry as telemetry
+from repro.core.exceptions import ReproError
 from repro.core.session import SessionConfig
 from repro.crypto.rand import secure_rng
+from repro.privacy.risk import RiskError
+from repro.serving.budget import BudgetEnforcer, identity_for_seed
 from repro.smc import wire
 from repro.telemetry import MetricsRegistry
 
@@ -172,6 +182,14 @@ class ClassificationFleet:
         self.heartbeat_interval = float(heartbeat_interval)
         self.restart_dead = bool(restart_dead)
         self._bundle = deployed_to_dict(deployed)
+        # Budget enforcement is a *frontend* concern: one ledger for the
+        # whole fleet, charged before a request is relayed. Shards are
+        # spawned with ledger_path stripped so a fleet never
+        # double-charges a request (frontend and shard each pricing it).
+        self._budget = BudgetEnforcer.from_config(deployed, self.config)
+        self._shard_config = self.config.with_overrides(ledger_path=None)
+        self._default_disclosure = [int(i) for i in deployed.disclosure]
+        self._key_bits = (deployed.paillier_bits, deployed.dgk_bits)
         #: Fleet-level shutdown secret: a ``KIND_SHUTDOWN`` frame to the
         #: *frontend* carrying it stops the whole fleet (the CLI path).
         self.shutdown_token = f"{secure_rng().getrandbits(128):032x}"
@@ -210,7 +228,7 @@ class ClassificationFleet:
         parent, child = multiprocessing.Pipe()
         process = multiprocessing.Process(
             target=_shard_main,
-            args=(child, self._bundle, self.config, name),
+            args=(child, self._bundle, self._shard_config, name),
             daemon=True,
         )
         process.start()
@@ -245,6 +263,8 @@ class ClassificationFleet:
                 shard.process.join(5)
         for thread in self._threads:
             thread.join(timeout=5)
+        if self._budget is not None:
+            self._budget.close()
 
     def __enter__(self) -> "ClassificationFleet":
         return self.start()
@@ -404,7 +424,44 @@ class ClassificationFleet:
         if kind != wire.KIND_REQUEST:
             return
         telemetry.count("fleet.requests")
-        self._relay_session(client, kind, body)
+        decision = None
+        if self._budget is not None:
+            try:
+                body, decision = self._enforce_budget(body)
+            except (ReproError, RiskError) as error:
+                telemetry.count("fleet.errors")
+                self._client_error(client, "bad-request", str(error), "")
+                return
+        self._relay_session(client, kind, body, decision)
+
+    def _enforce_budget(self, body: bytes):
+        """Charge one request's disclosure and rewrite its frame.
+
+        Decodes the ``KIND_REQUEST`` payload, attributes it to a client
+        (the keyring fingerprint its seed deterministically implies --
+        cached, so only a client's *first* request pays a key
+        derivation), admits the requested disclosure set against the
+        shared ledger, and re-encodes the frame with the granted set.
+        Shards then serve exactly what the budget allows without ever
+        seeing the ledger.
+        """
+        try:
+            payload = wire.WireCodec().decode(body)
+        except wire.WireError:
+            return body, None  # let the shard reject the malformed frame
+        if not isinstance(payload, dict):
+            return body, None
+        seed = int(payload.get("seed", 0))
+        requested = payload.get("disclosure")
+        if requested is None:
+            requested = self._default_disclosure
+        identity = identity_for_seed(seed, *self._key_bits)
+        decision = self._budget.admit(
+            identity, [int(i) for i in requested], f"fleet-{seed}"
+        )
+        payload = dict(payload)
+        payload["disclosure"] = list(decision.granted)
+        return wire.encode(payload), decision
 
     def _frontend_shutdown_frame(self, client: socket.socket, body) -> None:
         """KIND_SHUTDOWN at the frontend: fleet token stops everything."""
@@ -453,7 +510,11 @@ class ClassificationFleet:
         return [(home + i) % len(self.shards) for i in range(len(self.shards))]
 
     def _relay_session(
-        self, client: socket.socket, kind: int, body: bytes
+        self,
+        client: socket.socket,
+        kind: int,
+        body: bytes,
+        decision=None,
     ) -> None:
         """Find a shard that accepts the request, then splice frames."""
         all_shed = False
@@ -486,7 +547,7 @@ class ClassificationFleet:
             telemetry.count("fleet.routed")
             with upstream:
                 self._splice(client, upstream, shard,
-                             first_kind, first_body, index)
+                             first_kind, first_body, index, decision)
             return
         if all_shed:
             telemetry.count("fleet.shed")
@@ -508,6 +569,7 @@ class ClassificationFleet:
         first_kind: int,
         first_body: bytes,
         index: int,
+        decision=None,
     ) -> None:
         """Relay the session's frames between client and shard.
 
@@ -528,6 +590,12 @@ class ClassificationFleet:
         try:
             kind, body = first_kind, first_body
             while True:
+                if kind == wire.KIND_RESULT and decision is not None:
+                    # Shards know nothing of the ledger; the frontend
+                    # stamps the budget outcome into the result so
+                    # clients see what was actually disclosed (same
+                    # shape as single-server budget results).
+                    body = _stamp_budget(body, decision)
                 try:
                     wire.send_frame(client, kind, body)
                 except OSError:
@@ -568,6 +636,19 @@ class ClassificationFleet:
             wire.send_frame(client, wire.KIND_ERROR, body)
         except OSError:
             pass  # client already gone
+
+
+def _stamp_budget(body: bytes, decision) -> bytes:
+    """Attach the frontend's budget decision to a ``KIND_RESULT`` body."""
+    try:
+        payload = wire.WireCodec().decode(body)
+    except wire.WireError:
+        return body  # not ours to rewrite
+    if not isinstance(payload, dict):
+        return body
+    payload = dict(payload)
+    payload["budget"] = decision.to_dict()
+    return wire.encode(payload)
 
 
 def _pump_frames(source: socket.socket, sink: socket.socket) -> None:

@@ -51,6 +51,7 @@ from repro.core.session import SessionConfig
 from repro.crypto.engine import make_engine
 from repro.crypto.rand import secure_rng
 from repro.secure.backends import make_protocol_backend
+from repro.serving.budget import BudgetEnforcer, identity_for_context
 from repro.serving.session import BadRequest, RequestSession
 from repro.smc import wire
 from repro.smc.transport import TcpTransport, TransportConfig, TransportError
@@ -75,7 +76,10 @@ class ClassificationServer:
         (one engine is built up front and shared by all request
         contexts), ``protocol_backend`` (likewise built once, so a
         ``"shares"`` server shares one offline triple store across
-        requests) and the transport timeout fields.
+        requests), ``ledger_path`` / ``privacy_budget`` (per-client
+        cumulative privacy-budget enforcement; see
+        :mod:`repro.serving.budget` and ``docs/PRIVACY.md``) and the
+        transport timeout fields.
     max_connections:
         Stop accepting after this many accepted connections (shed ones
         included) and drain; ``None`` serves until :meth:`shutdown` or
@@ -130,6 +134,10 @@ class ClassificationServer:
         self._protocol_backend = make_protocol_backend(
             self.config.protocol_backend
         )
+        # Optional per-client privacy-budget enforcement: present only
+        # when config.ledger_path is set (and the bundle carries a
+        # risk_model). One enforcer -> one ledger for this process.
+        self._budget = BudgetEnforcer.from_config(deployed, self.config)
         self._stopping = threading.Event()
         self._drained = threading.Event()
         self._lock = threading.Lock()
@@ -184,6 +192,8 @@ class ClassificationServer:
         finally:
             self._stopping.set()
             executor.shutdown(wait=True)  # graceful drain
+            if self._budget is not None:
+                self._budget.close()  # after drain: no in-flight charges
             self._drained.set()
 
     def shutdown(self) -> None:
@@ -349,6 +359,21 @@ class ClassificationServer:
             engine=self._engine,
             protocol_backend=self._protocol_backend,
         )
+        # Budget enforcement happens between key derivation and the
+        # protocol run: the keyring fingerprint identifies the client,
+        # and the granted (possibly shrunk, possibly empty) disclosure
+        # set replaces the requested one. The charge is durable before
+        # a single plaintext feature leaves this process.
+        effective_disclosure = list(session.disclosure)
+        decision = None
+        if self._budget is not None:
+            decision = self._budget.admit(
+                identity_for_context(ctx),
+                effective_disclosure,
+                session.request_id,
+            )
+            effective_disclosure = list(decision.granted)
+            request_span.set("budget_mode", decision.mode)
         # The transport gets a *duplicate* descriptor: on a deadline it
         # closes its socket before raising, and the handler still needs
         # the original to deliver the KIND_ERROR report.
@@ -363,11 +388,11 @@ class ClassificationServer:
             label = self.deployed.classify(
                 ctx,
                 np.asarray(session.row),
-                disclosure=list(session.disclosure),
+                disclosure=effective_disclosure,
             )
             request_span.set("label", int(label))
             request_span.set("trace_bytes", ctx.trace.total_bytes)
-            return {
+            result = {
                 "label": int(label),
                 "request_id": session.request_id,
                 "trace": ctx.trace.summary(),
@@ -379,6 +404,12 @@ class ClassificationServer:
                         transport.stats.bytes_server_to_client,
                 },
             }
+            if decision is not None:
+                # Tell the client what the budget actually granted --
+                # a degraded request is otherwise indistinguishable
+                # from a full one.
+                result["budget"] = decision.to_dict()
+            return result
         finally:
             try:
                 wire_sock.close()

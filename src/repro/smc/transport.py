@@ -508,6 +508,10 @@ class ClassificationResult:
     server_trace: Dict[str, float]
     client_stats: Dict[str, int] = field(default_factory=dict)
     request_id: str = ""
+    #: Budget-enforcement outcome, present only when the server runs a
+    #: privacy-budget ledger: identity, granted/dropped disclosure,
+    #: spent-before/after, mode (``full`` / ``degraded`` / ``smc``).
+    budget: Optional[Dict] = None
 
 
 def serve_deployment(
@@ -705,6 +709,7 @@ def request_classification(
                     server_trace=result["trace"],
                     client_stats=stats,
                     request_id=str(result.get("request_id", "")),
+                    budget=result.get("budget"),
                 )
             raise TransportError(
                 f"unexpected frame kind 0x{kind:02X} from the server"

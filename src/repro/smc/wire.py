@@ -55,6 +55,7 @@ frame per logical message.
 
 from __future__ import annotations
 
+import hashlib
 import numbers
 import struct
 import socket
@@ -518,6 +519,30 @@ def codec_from_keyring(payload: dict) -> WireCodec:
         spec = payload["gm"]
         gm = GMPublicKey(n=int(spec["n"]), pseudo_residue=int(spec["x"]))
     return WireCodec(paillier=paillier, dgk=dgk, gm=gm)
+
+
+def keyring_fingerprint(payload: dict) -> str:
+    """Stable client identity derived from a keyring handshake message.
+
+    SHA-256 over the keyring's canonical wire encoding, truncated to 16
+    hex characters. Because every session's keys are derived
+    deterministically from the client's seed, the fingerprint is stable
+    across requests from the same client and collision-free across
+    distinct keyrings -- which is what lets the serving runtime's
+    privacy-budget ledger (:mod:`repro.privacy.ledger`) attribute
+    cumulative disclosure to a client identity without any extra
+    handshake field. See ``docs/PROTOCOLS.md`` (client identity) and
+    ``docs/PRIVACY.md`` (what the identity is used for).
+    """
+    def _sorted(value: Any) -> Any:
+        # The codec preserves dict insertion order; identity must not
+        # depend on it, so sort keys recursively before encoding.
+        if isinstance(value, dict):
+            return {k: _sorted(value[k]) for k in sorted(value)}
+        return value
+
+    digest = hashlib.sha256(encode(_sorted(payload))).hexdigest()
+    return f"pk-{digest[:16]}"
 
 
 def error_payload(code: str, message: str, request_id: str = "") -> dict:

@@ -78,6 +78,7 @@ class TestFormatFlag:
             "calibrate": ["calibrate"],
             "lint": ["lint"],
             "metrics": ["metrics", "m.json"],
+            "budget": ["budget", "inspect", "--ledger", "l.db"],
         }
         for name, argv in cases.items():
             args = parser.parse_args(argv)
@@ -166,6 +167,67 @@ class TestClassifyMetrics:
         capsys.readouterr()
         assert code == 0
         assert not telemetry.enabled()
+
+
+class TestBudgetCommand:
+    @pytest.fixture()
+    def ledger_path(self, tmp_path):
+        from repro.privacy.ledger import PrivacyLedger
+
+        path = str(tmp_path / "budget.db")
+        with PrivacyLedger(path, default_budget=0.3) as ledger:
+            ledger.ensure_client("pk-aaaa")
+            ledger.charge("pk-aaaa", features=[1, 2], delta=0.05,
+                          spent_after=0.05, request_id="r1", mode="full")
+            ledger.ensure_client("pk-bbbb")
+        return path
+
+    def test_inspect_lists_all_clients(self, ledger_path, capsys):
+        assert main(["budget", "inspect", "--ledger", ledger_path]) == 0
+        out = capsys.readouterr().out
+        assert "pk-aaaa" in out and "pk-bbbb" in out
+
+    def test_inspect_one_client_shows_charges(self, ledger_path, capsys):
+        assert main(["budget", "inspect", "--ledger", ledger_path,
+                     "--client", "pk-aaaa"]) == 0
+        out = capsys.readouterr().out
+        assert "r1" in out and "mode=full" in out
+        assert "pk-bbbb" not in out
+
+    def test_json_format(self, ledger_path, capsys):
+        import json
+
+        assert main(["budget", "top", "--ledger", ledger_path,
+                     "--limit", "1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] >= 2
+        assert [c["client_id"] for c in payload["clients"]] == ["pk-aaaa"]
+
+    def test_reset_requires_target(self, ledger_path, capsys):
+        assert main(["budget", "reset", "--ledger", ledger_path]) == 1
+        assert "--client" in capsys.readouterr().err
+
+    def test_reset_one_client(self, ledger_path, capsys):
+        assert main(["budget", "reset", "--ledger", ledger_path,
+                     "--client", "pk-bbbb"]) == 0
+        assert "1 client(s)" in capsys.readouterr().out
+
+    def test_missing_ledger_is_an_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.db")
+        assert main(["budget", "inspect", "--ledger", missing]) == 1
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_unknown_client_is_an_error(self, ledger_path, capsys):
+        assert main(["budget", "inspect", "--ledger", ledger_path,
+                     "--client", "pk-ghost"]) == 1
+        assert "pk-ghost" in capsys.readouterr().err
+
+    def test_no_metrics_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["budget", "inspect", "--ledger", "l.db",
+                 "--metrics", "m.json"]
+            )
 
 
 class TestMetricsCommand:

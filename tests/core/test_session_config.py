@@ -40,10 +40,21 @@ class TestValidation:
         ("max_workers", 0),
         ("queue_depth", -1),
         ("request_timeout_s", 0.0),
+        ("privacy_budget", -0.1),
+        ("privacy_budget", 1.5),
     ])
     def test_bad_values_rejected(self, field, value):
         with pytest.raises(ReproError):
             SessionConfig(**{field: value})
+
+    def test_budget_fields_default_off(self):
+        config = SessionConfig()
+        assert config.ledger_path is None
+        assert config.privacy_budget is None
+
+    def test_valid_privacy_budget_accepted(self):
+        assert SessionConfig(privacy_budget=0.0).privacy_budget == 0.0
+        assert SessionConfig(privacy_budget=1.0).privacy_budget == 1.0
 
     def test_frozen(self):
         with pytest.raises(Exception):
@@ -91,6 +102,13 @@ class TestFromArgs:
         # --workers means engine workers; the serve command sets the
         # handler-pool size (max_workers) explicitly.
         assert config.max_workers == 4
+
+    def test_reads_budget_flags(self):
+        args = argparse.Namespace(seed=0, ledger="budget.db",
+                                  privacy_budget=0.2)
+        config = SessionConfig.from_args(args)
+        assert config.ledger_path == "budget.db"
+        assert config.privacy_budget == 0.2
 
     def test_extra_overrides_win(self):
         args = argparse.Namespace(seed=1, engine="serial")

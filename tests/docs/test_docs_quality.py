@@ -10,8 +10,10 @@ import subprocess
 import sys
 
 from repro.analysis.docs import (
+    DOC_COMMANDS,
     check_cli_flag_drift,
     check_links,
+    command_help_text,
     github_slug,
     heading_slugs,
     main,
@@ -91,7 +93,13 @@ def test_check_cli_flag_drift_synthetic(tmp_path):
 def test_serve_help_text_names_the_runtime_flags():
     text = serve_help_text()
     for flag in ("--workers", "--queue-depth", "--request-timeout",
-                 "--engine", "--bundle"):
+                 "--engine", "--bundle", "--ledger", "--privacy-budget"):
+        assert flag in text
+
+
+def test_budget_help_text_names_the_ledger_flags():
+    text = command_help_text("budget")
+    for flag in ("--ledger", "--client", "--limit", "--all"):
         assert flag in text
 
 
@@ -101,9 +109,19 @@ def test_repo_docs_have_no_broken_links():
     assert check_links(_repo_markdown(), root=REPO_ROOT) == []
 
 
-def test_deployment_guide_matches_serve_cli():
-    doc = os.path.join(REPO_ROOT, "docs", "DEPLOYMENT.md")
-    assert check_cli_flag_drift(doc) == []
+def test_operator_guides_match_their_clis():
+    for name, commands in DOC_COMMANDS.items():
+        doc = os.path.join(REPO_ROOT, "docs", name)
+        assert check_cli_flag_drift(doc, commands=commands) == []
+
+
+def test_budget_flags_are_drift_checked_for_privacy_guide():
+    # The privacy guide documents the budget subcommand, so its flags
+    # must pass; against serve alone they would be drift.
+    doc = os.path.join(REPO_ROOT, "docs", "PRIVACY.md")
+    assert check_cli_flag_drift(doc, commands=("serve", "budget")) == []
+    serve_only = check_cli_flag_drift(doc, commands=("serve",))
+    assert any("--all" in p or "--client" in p for p in serve_only)
 
 
 def test_deployment_guide_is_linked_from_the_other_docs():
@@ -111,6 +129,13 @@ def test_deployment_guide_is_linked_from_the_other_docs():
                    os.path.join("docs", "OBSERVABILITY.md")):
         with open(os.path.join(REPO_ROOT, source), encoding="utf-8") as f:
             assert "DEPLOYMENT.md" in f.read(), source
+
+
+def test_privacy_guide_is_linked_from_the_entry_points():
+    for source in ("README.md", os.path.join("docs", "DEPLOYMENT.md"),
+                   os.path.join("docs", "SECURITY.md")):
+        with open(os.path.join(REPO_ROOT, source), encoding="utf-8") as f:
+            assert "PRIVACY.md" in f.read(), source
 
 
 def test_main_exit_codes(tmp_path):

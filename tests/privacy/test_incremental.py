@@ -172,3 +172,68 @@ class TestMetrics:
             IncrementalRiskEvaluator(
                 exact, warfarin.X[:50], warfarin.sensitive_indices
             )
+
+
+class TestSequentialComposition:
+    """Edge cases the serving-side budget ledger leans on.
+
+    The ledger prices a client's *cumulative* disclosed set, growing
+    one request at a time -- so the incremental view must agree with
+    the exact joint price at every prefix, the empty set must be the
+    zero point, and re-disclosure must be a no-op in price.
+    """
+
+    def test_empty_disclosure_set_risk(self, warfarin, nb_adversary,
+                                       evaluator):
+        model = RiskModel(
+            adversary=nb_adversary,
+            evaluation_rows=warfarin.X[:200],
+            sensitive_columns=warfarin.sensitive_indices,
+        )
+        assert evaluator.disclosed == ()
+        assert evaluator.risk() == pytest.approx(model.risk([]), abs=1e-10)
+        assert evaluator.risk_of_set([]) == pytest.approx(
+            evaluator.risk(), abs=1e-12
+        )
+
+    def test_redisclosing_charged_feature_is_free(self, warfarin,
+                                                  evaluator):
+        race = warfarin.feature_index("race")
+        age = warfarin.feature_index("age_decade")
+        evaluator.push(race)
+        evaluator.push(age)
+        charged = evaluator.risk()
+        # the cumulative set does not grow, so neither does the price
+        assert evaluator.risk_of_set([race, age, race]) == pytest.approx(
+            charged, abs=1e-12
+        )
+        with pytest.raises(RiskError):
+            evaluator.push(race)  # a literal re-push is a caller bug
+        assert evaluator.risk() == pytest.approx(charged, abs=1e-12)
+
+    def test_incremental_matches_exact_joint_at_every_prefix(
+        self, warfarin, nb_adversary, evaluator
+    ):
+        model = RiskModel(
+            adversary=nb_adversary,
+            evaluation_rows=warfarin.X[:200],
+            sensitive_columns=warfarin.sensitive_indices,
+        )
+        sequence = [warfarin.feature_index(name) for name in
+                    ("race", "age_decade", "weight_bin", "smoker")]
+        disclosed = []
+        for feature in sequence:
+            evaluator.push(feature)
+            disclosed.append(feature)
+            assert evaluator.risk() == pytest.approx(
+                model.risk(list(disclosed)), abs=1e-10
+            ), f"diverged at prefix {disclosed}"
+
+    def test_composition_order_does_not_change_the_price(self, warfarin,
+                                                         evaluator):
+        a = warfarin.feature_index("race")
+        b = warfarin.feature_index("smoker")
+        c = warfarin.feature_index("gender")
+        forward = evaluator.risk_of_set([a, b, c])
+        backward = evaluator.risk_of_set([c, b, a])
+        assert forward == pytest.approx(backward, abs=1e-12)

@@ -1,0 +1,136 @@
+"""Disclosure pricing and the serializable risk model.
+
+The pricer turns the incremental risk evaluator into the serving-side
+admission engine: price a requested disclosure set on top of a
+client's recorded history, grant what fits the budget, drop the rest.
+The serializable risk model is what rides inside a deployment bundle
+so a serving host can price without the training cohort.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.privacy.adversary import NaiveBayesAdversary
+from repro.privacy.incremental import IncrementalRiskEvaluator
+from repro.privacy.pricing import (
+    DisclosurePricer,
+    risk_model_from_dict,
+    risk_model_to_dict,
+)
+from repro.privacy.risk import RiskError
+
+
+@pytest.fixture(scope="module")
+def nb_adversary(warfarin):
+    return NaiveBayesAdversary(
+        warfarin.X, warfarin.domain_sizes, warfarin.sensitive_indices
+    )
+
+
+@pytest.fixture()
+def evaluator(warfarin, nb_adversary):
+    return IncrementalRiskEvaluator(
+        nb_adversary, warfarin.X[:200], warfarin.sensitive_indices
+    )
+
+
+@pytest.fixture()
+def pricer(evaluator):
+    return DisclosurePricer(evaluator)
+
+
+class TestPlan:
+    def test_everything_fits_under_a_loose_budget(self, pricer):
+        plan = pricer.plan(base=[], requested=[0, 1, 2], budget=1.0)
+        assert plan.granted == (0, 1, 2)
+        assert plan.dropped == ()
+        assert plan.spent_after <= 1.0
+
+    def test_spent_never_exceeds_budget(self, pricer, warfarin):
+        everything = list(range(warfarin.X.shape[1]))
+        budget = 0.05
+        plan = pricer.plan(base=[], requested=everything, budget=budget)
+        assert plan.spent_after <= budget + 1e-12
+        assert set(plan.granted) | set(plan.dropped) == set(everything)
+
+    def test_already_disclosed_features_are_free(self, pricer):
+        first = pricer.plan(base=[], requested=[0, 1], budget=1.0)
+        replay = pricer.plan(base=list(first.granted), requested=[0, 1],
+                             budget=1.0)
+        assert replay.granted == (0, 1)
+        assert replay.dropped == ()
+        assert replay.delta == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_request_charges_nothing(self, pricer):
+        plan = pricer.plan(base=[3], requested=[], budget=1.0)
+        assert plan.granted == ()
+        assert plan.dropped == ()
+        assert plan.delta == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_budget_degrades_to_nothing_fresh(
+        self, evaluator, pricer, warfarin
+    ):
+        sensitive_neighbour = max(
+            set(range(warfarin.X.shape[1]))
+            - set(evaluator.background_columns)
+        )
+        plan = pricer.plan(base=[], requested=[sensitive_neighbour],
+                           budget=0.0)
+        # either the feature is free (risk 0) or it must be dropped
+        if plan.dropped:
+            assert plan.granted == ()
+        assert plan.spent_after <= 1e-12
+
+    def test_background_columns_cost_nothing(self, evaluator, pricer):
+        background = list(evaluator.background_columns)
+        if not background:
+            pytest.skip("dataset has no background columns")
+        plan = pricer.plan(base=[], requested=background, budget=0.0)
+        assert plan.granted == tuple(sorted(background))
+        assert plan.delta == pytest.approx(0.0, abs=1e-12)
+
+    def test_plan_matches_exact_joint_price(self, pricer, evaluator):
+        plan = pricer.plan(base=[], requested=[0, 1, 4], budget=1.0)
+        assert plan.spent_after == pytest.approx(
+            evaluator.risk_of_set(plan.granted), abs=1e-10
+        )
+
+
+class TestRiskModelSerialization:
+    def test_round_trip_prices_identically(self, evaluator):
+        payload = risk_model_to_dict(evaluator)
+        rebuilt = risk_model_from_dict(payload)
+        for subset in ([0], [0, 1], [2, 5, 7], [0, 1, 2, 3, 4]):
+            assert rebuilt.risk_of_set(subset) == pytest.approx(
+                evaluator.risk_of_set(subset), abs=1e-10
+            )
+
+    def test_payload_is_json_serializable(self, evaluator):
+        payload = risk_model_to_dict(evaluator)
+        assert risk_model_from_dict(
+            json.loads(json.dumps(payload))
+        ).risk_of_set([0, 1]) == pytest.approx(
+            evaluator.risk_of_set([0, 1]), abs=1e-10
+        )
+
+    def test_rebuilt_model_carries_no_cohort_rows(self, evaluator):
+        rebuilt = risk_model_from_dict(risk_model_to_dict(evaluator))
+        assert rebuilt.adversary.data.shape[0] == 0
+
+    def test_unknown_version_rejected(self, evaluator):
+        payload = risk_model_to_dict(evaluator)
+        payload["version"] = 999
+        with pytest.raises(RiskError):
+            risk_model_from_dict(payload)
+
+    def test_non_naive_bayes_adversary_rejected(self, evaluator):
+        class FakeAdversary:
+            pass
+
+        fake = object.__new__(IncrementalRiskEvaluator)
+        fake.__dict__.update(evaluator.__dict__)
+        fake.adversary = FakeAdversary()
+        with pytest.raises(RiskError):
+            risk_model_to_dict(fake)
